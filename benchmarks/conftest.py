@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper through the
+figure generators in :mod:`repro.experiments.figures`.  Simulation runs
+are memoised in one shared cache for the whole session, so figures that
+reuse the same experiment (e.g. Fig. 8 and Fig. 9) only pay for it once.
+
+Scale is controlled by the ``REPRO_SCALE`` environment variable
+(``small`` by default, ``full`` for the paper-sized grids).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import default_scale
+from repro.experiments.runner import RunCache
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return default_scale()
+
+
+@pytest.fixture(scope="session")
+def cache():
+    return RunCache()
+
+
+def run_once(benchmark, func):
+    """Run a figure generator exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

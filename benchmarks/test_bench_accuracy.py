@@ -1,0 +1,20 @@
+"""Section 5.2 -- path accuracy table.
+
+Paper claim: 100 % path accuracy (no false positives, no false negatives)
+across workloads, client counts, sliding-window sizes, clock skews and
+coexisting noise.
+"""
+
+from conftest import run_once
+from repro.experiments.figures import accuracy_table
+
+
+def test_bench_accuracy_table(benchmark, scale, cache):
+    result = run_once(benchmark, lambda: accuracy_table(scale, cache))
+    assert result.rows, "the accuracy grid must not be empty"
+    for row in result.rows:
+        assert row["accuracy"] == 1.0, f"accuracy dropped below 100% for {row}"
+        assert row["false_positives"] == 0
+        assert row["false_negatives"] == 0
+    assert any(row["noise"] for row in result.rows)
+    assert len({row["clock_skew_s"] for row in result.rows}) >= 2

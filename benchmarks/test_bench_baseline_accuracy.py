@@ -1,0 +1,21 @@
+"""Extra comparison -- PreciseTracer vs. probabilistic baselines.
+
+Quantifies the paper's Section 6 argument: probabilistic correlation
+(Project5 / WAP5 style) loses precision under concurrency, while
+PreciseTracer's deterministic correlation stays exact on the same traces.
+"""
+
+from conftest import run_once
+from repro.experiments.figures import baseline_comparison
+
+
+def test_bench_baseline_accuracy(benchmark, scale, cache):
+    result = run_once(benchmark, lambda: baseline_comparison(scale, cache))
+    assert result.rows
+    for row in result.rows:
+        assert row["precisetracer"] == 1.0
+        assert row["wap5_style"] <= 1.0
+        assert row["project5_style"] <= 1.0
+    # at the highest tested concurrency the probabilistic approaches lag
+    last = result.rows[-1]
+    assert min(last["wap5_style"], last["project5_style"]) < 1.0

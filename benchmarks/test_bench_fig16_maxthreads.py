@@ -1,0 +1,29 @@
+"""Fig. 16 -- throughput and response time for MaxThreads 40 vs. 250.
+
+Paper shape: raising MaxThreads from 40 to 250 increases throughput and
+decreases response time in the saturated region (>=500 clients); at the
+top of the range a hardware/database limit becomes the new bottleneck.
+"""
+
+from conftest import run_once
+from repro.experiments.figures import figure16
+
+
+def test_bench_fig16_maxthreads(benchmark, scale, cache):
+    result = run_once(benchmark, lambda: figure16(scale, cache))
+    rows = {row["clients"]: row for row in result.rows}
+    clients = sorted(rows)
+
+    # At low concurrency the two configurations are equivalent.
+    low = rows[clients[0]]
+    assert abs(low["tp_mt40_rps"] - low["tp_mt250_rps"]) <= 0.25 * max(low["tp_mt40_rps"], 1)
+
+    # In the saturated region MaxThreads=250 wins on both metrics.
+    high = rows[clients[-1]]
+    assert high["tp_mt250_rps"] >= high["tp_mt40_rps"]
+    assert high["rt_mt250_ms"] <= high["rt_mt40_ms"]
+
+    # And the win is meaningful (the paper's gap is clearly visible).
+    assert high["tp_mt250_rps"] > 1.05 * high["tp_mt40_rps"] or (
+        high["rt_mt40_ms"] > 1.2 * high["rt_mt250_ms"]
+    )

@@ -1,0 +1,42 @@
+"""Fig. 17 -- latency percentages for injected performance problems.
+
+Paper shape, per abnormal case (vs. the normal profile):
+
+* EJB_Delay       -- the java-internal share jumps from <10 % to >40 %;
+* Database_Lock   -- the mysqld-internal share grows markedly;
+* EJB_Network     -- the interactions touching the second tier grow while
+                     the second tier's internal share does not.
+"""
+
+from conftest import run_once
+from repro.experiments.figures import figure17, figure17_diagnosis
+
+
+def test_bench_fig17_fault_injection(benchmark, scale, cache):
+    result = run_once(benchmark, lambda: figure17(scale, cache))
+    rows = {row["scenario"]: row for row in result.rows}
+    assert set(rows) == {"normal", "EJB_Delay", "Database_Lock", "EJB_Network"}
+    normal = rows["normal"]
+
+    # EJB_Delay: the second tier's internal latency dominates the growth.
+    assert rows["EJB_Delay"]["java2java"] > normal["java2java"] + 20.0
+
+    # Database_Lock: the third tier's internal latency share grows.
+    assert rows["Database_Lock"]["mysqld2mysqld"] > normal["mysqld2mysqld"] + 10.0
+
+    # EJB_Network: interactions touching the second tier grow.
+    interactions = ("httpd2java", "java2httpd", "mysqld2java", "java2mysqld")
+    grew = [
+        label for label in interactions if rows["EJB_Network"][label] > normal[label] + 1.0
+    ]
+    assert len(grew) >= 2, f"expected second-tier interactions to grow, got {grew}"
+    # every abnormal case slows the service down
+    for scenario in ("EJB_Delay", "Database_Lock", "EJB_Network"):
+        assert rows[scenario]["mean_response_time_ms"] > normal["mean_response_time_ms"]
+
+
+def test_bench_fig17_diagnosis_points_at_injected_tier(benchmark, scale, cache):
+    suspects = run_once(benchmark, lambda: figure17_diagnosis(scale, cache, threshold=5.0))
+    assert suspects["EJB_Delay"] and suspects["EJB_Delay"][0] == "java"
+    assert "mysqld" in suspects["Database_Lock"]
+    assert "java" in suspects["EJB_Network"]

@@ -1,0 +1,110 @@
+"""PreciseTracer reproduction.
+
+A Python reproduction of "Precise Request Tracing and Performance
+Debugging for Multi-tier Services of Black Boxes" (Zhang et al., DSN
+2009): precise black-box request tracing from kernel-level TCP
+send/receive activities, the Component Activity Graph (CAG) abstraction,
+latency-percentage performance debugging, and the simulated three-tier
+testbed used to reproduce the paper's evaluation.
+
+Quick start::
+
+    from repro import RubisConfig, run_rubis
+
+    result = run_rubis(RubisConfig(clients=100))
+    trace = result.trace(window=0.010)
+    print(trace.request_count, "causal paths reconstructed")
+    print(trace.accuracy(result.ground_truth).accuracy)
+"""
+
+from .core import (
+    AccuracyReport,
+    Activity,
+    ActivityClassifier,
+    ActivityType,
+    CAG,
+    CAGError,
+    ContextId,
+    CorrelationEngine,
+    CorrelationResult,
+    Correlator,
+    Diagnosis,
+    Edge,
+    FrontendSpec,
+    GroundTruthRequest,
+    LatencyBreakdown,
+    LatencyProfile,
+    MessageId,
+    PathPattern,
+    PatternClassifier,
+    PreciseTracer,
+    Ranker,
+    RawRecord,
+    SegmentChange,
+    TraceResult,
+    average_breakdown,
+    breakdown_for_cag,
+    classify,
+    compare_profiles,
+    diagnose,
+    dominant_pattern,
+    parse_record,
+    path_accuracy,
+    percentage_table,
+    profile_series,
+)
+from .services import FaultConfig, NoiseConfig
+from .services.rubis import (
+    RubisConfig,
+    RubisDeployment,
+    RubisRunResult,
+    WorkloadStages,
+    run_rubis,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AccuracyReport",
+    "Activity",
+    "ActivityClassifier",
+    "ActivityType",
+    "CAG",
+    "CAGError",
+    "ContextId",
+    "CorrelationEngine",
+    "CorrelationResult",
+    "Correlator",
+    "Diagnosis",
+    "Edge",
+    "FaultConfig",
+    "FrontendSpec",
+    "GroundTruthRequest",
+    "LatencyBreakdown",
+    "LatencyProfile",
+    "MessageId",
+    "NoiseConfig",
+    "PathPattern",
+    "PatternClassifier",
+    "PreciseTracer",
+    "Ranker",
+    "RawRecord",
+    "RubisConfig",
+    "RubisDeployment",
+    "RubisRunResult",
+    "SegmentChange",
+    "TraceResult",
+    "WorkloadStages",
+    "__version__",
+    "average_breakdown",
+    "breakdown_for_cag",
+    "classify",
+    "compare_profiles",
+    "diagnose",
+    "dominant_pattern",
+    "parse_record",
+    "path_accuracy",
+    "percentage_table",
+    "profile_series",
+    "run_rubis",
+]

@@ -1,0 +1,19 @@
+"""Probabilistic black-box tracing baselines.
+
+The paper positions PreciseTracer against the probabilistic correlation
+methods of Project5 and WAP5 (Section 6.1): those infer *likely* causal
+paths from message timing alone and accept imprecision.  This package
+implements simplified versions of both so the reproduction can quantify
+the precision gap on identical traces (the paper argues it qualitatively).
+"""
+
+from .project5 import NestingResult, nesting_algorithm
+from .wap5 import Wap5Config, Wap5Path, Wap5Tracer
+
+__all__ = [
+    "NestingResult",
+    "Wap5Config",
+    "Wap5Path",
+    "Wap5Tracer",
+    "nesting_algorithm",
+]

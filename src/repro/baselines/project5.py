@@ -1,0 +1,214 @@
+"""A Project5-style "nesting" baseline for RPC-like traffic.
+
+Project5 (Aguilera et al., SOSP 2003) offers two offline algorithms over
+black-box message traces: the *nesting* algorithm for RPC-style systems
+and the *convolution* algorithm for free-form message streams.  This
+module implements a simplified nesting algorithm: it pairs call/return
+messages on each connection and then infers which child calls are nested
+inside which parent calls based purely on timestamp containment and a
+scoring heuristic -- no per-request identifiers of any kind.
+
+The output is aggregate (call pairs and nesting scores), matching
+Project5's goal of finding *patterns* rather than per-request paths; the
+per-request accuracy comparison therefore uses :class:`NestingResult`'s
+best-guess parent assignment, which is where the imprecision of
+probabilistic approaches shows up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.accuracy import GroundTruthRequest
+from ..core.activity import Activity, ActivityType
+
+
+@dataclass
+class CallPair:
+    """One matched call/return on a connection (an RPC in Project5 terms)."""
+
+    caller: Tuple[str, str]  # (hostname, program) of the caller
+    callee: Tuple[str, str]
+    call_send: Activity
+    call_receive: Activity
+    return_send: Optional[Activity] = None
+    return_receive: Optional[Activity] = None
+    parent: Optional["CallPair"] = None
+
+    @property
+    def start(self) -> float:
+        return self.call_send.timestamp
+
+    @property
+    def end(self) -> float:
+        if self.return_receive is not None:
+            return self.return_receive.timestamp
+        if self.return_send is not None:
+            return self.return_send.timestamp
+        return self.call_receive.timestamp
+
+    def request_ids(self) -> Set[int]:
+        ids = set()
+        for activity in (
+            self.call_send,
+            self.call_receive,
+            self.return_send,
+            self.return_receive,
+        ):
+            if activity is not None and activity.request_id is not None:
+                ids.add(activity.request_id)
+        return ids
+
+
+@dataclass
+class NestingResult:
+    """Call pairs plus the inferred nesting relation."""
+
+    pairs: List[CallPair] = field(default_factory=list)
+
+    def roots(self) -> List[CallPair]:
+        return [pair for pair in self.pairs if pair.parent is None]
+
+    def children_of(self, parent: CallPair) -> List[CallPair]:
+        return [pair for pair in self.pairs if pair.parent is parent]
+
+    def path_accuracy(self, ground_truth: Dict[int, GroundTruthRequest]) -> float:
+        """Fraction of requests whose inferred call tree is pure.
+
+        A request is counted as correctly traced when some root call pair
+        carries its id and every call pair attached (transitively) to that
+        root carries the same single id.  Mixed ids anywhere in the tree
+        disqualify the request -- the same spirit as the paper's
+        path-accuracy criterion, adapted to nesting output.
+        """
+        children: Dict[int, List[CallPair]] = {}
+        for pair in self.pairs:
+            if pair.parent is not None:
+                children.setdefault(id(pair.parent), []).append(pair)
+
+        correct: Set[int] = set()
+        for root in self.roots():
+            ids = set(root.request_ids())
+            pure = len(ids) == 1
+            stack = list(children.get(id(root), []))
+            nested_count = 0
+            while stack and pure:
+                node = stack.pop()
+                nested_count += 1
+                node_ids = node.request_ids()
+                if len(node_ids) != 1 or node_ids != ids:
+                    pure = False
+                    break
+                stack.extend(children.get(id(node), []))
+            if not pure or len(ids) != 1:
+                continue
+            request_id = next(iter(ids))
+            truth = ground_truth.get(request_id)
+            if truth is None:
+                continue
+            # The tree must cover every tier the oracle saw (no missing
+            # sub-calls), otherwise the path is incomplete.
+            covered = {ctx for ctx in self._tree_contexts(root, children)}
+            if covered != truth.contexts:
+                continue
+            correct.add(request_id)
+        if not ground_truth:
+            return 1.0
+        return len(correct) / len(ground_truth)
+
+    def _tree_contexts(
+        self, root: CallPair, children: Dict[int, List[CallPair]]
+    ) -> Set[Tuple[str, str, int, int]]:
+        contexts: Set[Tuple[str, str, int, int]] = set()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for activity in (
+                node.call_send,
+                node.call_receive,
+                node.return_send,
+                node.return_receive,
+            ):
+                if activity is not None:
+                    contexts.add(activity.context_key)
+            stack.extend(children.get(id(node), []))
+        return contexts
+
+
+def _pair_calls(activities: Sequence[Activity]) -> List[CallPair]:
+    """Pair call and return messages per connection, in timestamp order.
+
+    A "call" is traffic in the connection's forward direction; the next
+    reverse-direction message on the same connection is its "return".
+    BEGIN/END mark the frontend call/return of each client connection.
+    """
+    ordered = sorted(activities, key=lambda a: (a.timestamp, a.seq))
+    # open calls per undirected connection, FIFO
+    open_calls: Dict[Tuple, List[CallPair]] = {}
+    # remember send halves waiting for their receive, per direction
+    pending_send: Dict[Tuple[str, int, str, int], Activity] = {}
+    pairs: List[CallPair] = []
+
+    for activity in ordered:
+        key = activity.message_key
+        undirected = activity.message.undirected_key()
+        if activity.type.is_send_like:
+            pending_send[key] = activity
+            continue
+        send = pending_send.pop(key, None)
+        if send is None:
+            continue
+        queue = open_calls.setdefault(undirected, [])
+        if queue and queue[-1].return_send is None and _is_reverse(queue[-1], send):
+            call = queue.pop()
+            call.return_send = send
+            call.return_receive = activity
+        else:
+            pair = CallPair(
+                caller=send.component,
+                callee=activity.component,
+                call_send=send,
+                call_receive=activity,
+            )
+            queue.append(pair)
+            pairs.append(pair)
+    return pairs
+
+
+def _is_reverse(call: CallPair, send: Activity) -> bool:
+    """Is ``send`` traffic in the opposite direction of ``call``'s request?"""
+    return send.message_key == call.call_send.message.reversed_key()
+
+
+def nesting_algorithm(activities: Sequence[Activity]) -> NestingResult:
+    """Run the simplified nesting inference.
+
+    Each call pair is assigned the *innermost* candidate parent: another
+    call pair on the same callee component whose [start, end] interval
+    contains it.  Ties are broken by the smallest enclosing interval, the
+    same heuristic Project5's scoring favours.  Under concurrency several
+    parents may contain a child, and the guess can be wrong -- which is the
+    point of the comparison.
+    """
+    pairs = _pair_calls(activities)
+    # index call pairs by the component that *received* the call: nested
+    # calls originate from that component.
+    by_callee: Dict[Tuple[str, str], List[CallPair]] = {}
+    for pair in pairs:
+        by_callee.setdefault(pair.callee, []).append(pair)
+
+    for pair in pairs:
+        candidates = by_callee.get(pair.caller, [])
+        best: Optional[CallPair] = None
+        best_span = float("inf")
+        for candidate in candidates:
+            if candidate is pair:
+                continue
+            if candidate.start <= pair.start and pair.end <= candidate.end:
+                span = candidate.end - candidate.start
+                if span < best_span:
+                    best_span = span
+                    best = candidate
+        pair.parent = best
+    return NestingResult(pairs=pairs)

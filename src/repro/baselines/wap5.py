@@ -1,0 +1,193 @@
+"""A WAP5-style probabilistic message-linking baseline.
+
+WAP5 (Reynolds et al., WWW 2006) reconstructs causal paths from per-process
+message traces by *guessing* which incoming message caused each outgoing
+message: for every send it links the most recent receive in the same
+process within a plausible service-time horizon, weighting shorter gaps as
+more likely.  No payload, byte-count or connection bookkeeping is used, so
+under concurrency two requests interleaved in one worker can easily be
+cross-linked -- precisely the imprecision the paper contrasts itself with.
+
+The implementation here works on the same :class:`repro.core.activity.Activity`
+stream PreciseTracer consumes, so both can be scored with the same
+ground-truth oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.accuracy import GroundTruthRequest
+from ..core.activity import Activity, ActivityType
+
+
+@dataclass(frozen=True)
+class Wap5Config:
+    """Tuning knobs of the probabilistic linker."""
+
+    #: Longest believable delay between a cause and the message it triggers.
+    max_causal_gap: float = 1.0
+    #: Exponential decay constant for the link weight (seconds).
+    decay: float = 0.050
+
+
+@dataclass
+class Wap5Path:
+    """One inferred causal path (a tree flattened to its activity set)."""
+
+    root: Activity
+    activities: List[Activity] = field(default_factory=list)
+
+    @property
+    def begin_timestamp(self) -> float:
+        return self.root.timestamp
+
+    def request_ids(self) -> Set[int]:
+        return {
+            activity.request_id
+            for activity in self.activities
+            if activity.request_id is not None
+        }
+
+    def contexts(self) -> Set[Tuple[str, str, int, int]]:
+        return {activity.context_key for activity in self.activities}
+
+
+class Wap5Tracer:
+    """Infer causal paths by probabilistic message linking."""
+
+    def __init__(self, config: Optional[Wap5Config] = None) -> None:
+        self.config = config or Wap5Config()
+
+    # -- inference ----------------------------------------------------------
+
+    def infer_paths(self, activities: Sequence[Activity]) -> List[Wap5Path]:
+        """Infer one path per BEGIN activity.
+
+        The linker walks forward in (timestamp-sorted) order:
+
+        * an outgoing message (SEND/END) is attributed to the most recent,
+          most plausible receive-like activity in the same *process*
+          (pid, not thread -- WAP5 traces at process granularity);
+        * a RECEIVE is attributed to the latest unmatched SEND on the same
+          connection (it has no payload identifiers, so pipelined or
+          segmented messages may be matched to the wrong send).
+        """
+        ordered = sorted(activities, key=lambda a: (a.timestamp, a.seq))
+        # latest receive-like activities per process, newest last
+        recent_inputs: Dict[Tuple[str, str, int], List[Activity]] = {}
+        # unmatched sends per connection key, newest last
+        open_sends: Dict[Tuple[str, int, str, int], List[Activity]] = {}
+        parent: Dict[int, Optional[Activity]] = {}
+
+        for activity in ordered:
+            process_key = (
+                activity.context.hostname,
+                activity.context.program,
+                activity.context.pid,
+            )
+            if activity.type.is_receive_like:
+                cause = None
+                if activity.type is ActivityType.RECEIVE:
+                    candidates = open_sends.get(activity.message_key, [])
+                    cause = candidates[-1] if candidates else None
+                parent[id(activity)] = cause
+                recent_inputs.setdefault(process_key, []).append(activity)
+            else:
+                cause = self._most_plausible_input(
+                    recent_inputs.get(process_key, []), activity.timestamp
+                )
+                parent[id(activity)] = cause
+                open_sends.setdefault(activity.message_key, []).append(activity)
+
+        return self._assemble_paths(ordered, parent)
+
+    def _most_plausible_input(
+        self, inputs: Sequence[Activity], at: float
+    ) -> Optional[Activity]:
+        """Pick the input message most likely to have caused an output at ``at``."""
+        best: Optional[Activity] = None
+        best_weight = 0.0
+        for candidate in reversed(inputs):
+            gap = at - candidate.timestamp
+            if gap < 0:
+                continue
+            if gap > self.config.max_causal_gap:
+                break
+            weight = math.exp(-gap / self.config.decay)
+            if weight > best_weight:
+                best_weight = weight
+                best = candidate
+        return best
+
+    def _assemble_paths(
+        self,
+        ordered: Sequence[Activity],
+        parent: Dict[int, Optional[Activity]],
+    ) -> List[Wap5Path]:
+        """Group activities into paths by following parent links to a BEGIN."""
+        root_of: Dict[int, Optional[Activity]] = {}
+
+        def find_root(activity: Activity) -> Optional[Activity]:
+            chain: List[Activity] = []
+            current: Optional[Activity] = activity
+            while current is not None and id(current) not in root_of:
+                chain.append(current)
+                if current.type is ActivityType.BEGIN:
+                    root_of[id(current)] = current
+                    break
+                current = parent.get(id(current))
+            root = root_of.get(id(chain[-1])) if chain else None
+            if root is None and current is not None:
+                root = root_of.get(id(current))
+            for visited in chain:
+                root_of[id(visited)] = root
+            return root
+
+        paths: Dict[int, Wap5Path] = {}
+        for activity in ordered:
+            root = find_root(activity)
+            if root is None:
+                continue
+            path = paths.get(id(root))
+            if path is None:
+                path = Wap5Path(root=root)
+                paths[id(root)] = path
+            path.activities.append(activity)
+        return list(paths.values())
+
+    # -- scoring -------------------------------------------------------------
+
+    def path_accuracy(
+        self,
+        activities: Sequence[Activity],
+        ground_truth: Dict[int, GroundTruthRequest],
+        time_tolerance: float = 1e-6,
+    ) -> float:
+        """Score inferred paths with the paper's correctness criterion.
+
+        A path counts as correct when it contains exactly the activities of
+        one ground-truth request: a single request id and exactly the
+        oracle's execution entities.
+        """
+        correct = 0
+        claimed: Set[int] = set()
+        for path in self.infer_paths(activities):
+            ids = path.request_ids()
+            if len(ids) != 1:
+                continue
+            request_id = next(iter(ids))
+            truth = ground_truth.get(request_id)
+            if truth is None or request_id in claimed:
+                continue
+            if path.contexts() != truth.contexts:
+                continue
+            if abs(path.begin_timestamp - truth.start_time) > time_tolerance:
+                continue
+            claimed.add(request_id)
+            correct += 1
+        if not ground_truth:
+            return 1.0
+        return correct / len(ground_truth)

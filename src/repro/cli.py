@@ -1,0 +1,155 @@
+"""Command-line interface of the reproduction.
+
+Examples::
+
+    # regenerate one figure
+    precisetracer figure fig15
+
+    # regenerate every table/figure and write a combined report
+    precisetracer report --output experiments_report.txt
+
+    # run one simulated experiment and print trace statistics
+    precisetracer trace --clients 300 --window 0.01
+
+    # list the available figures
+    precisetracer list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    ALL_FIGURES,
+    SCALES,
+    default_scale,
+    figure17_diagnosis,
+    render_table,
+    write_report,
+)
+from .services.faults import FaultConfig
+from .services.noise import NoiseConfig
+from .services.rubis.client import WorkloadStages
+from .services.rubis.deployment import RubisConfig, run_rubis
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="precisetracer",
+        description="PreciseTracer reproduction (DSN 2009) experiment driver",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="experiment scale (default: REPRO_SCALE env var or 'small')",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available figures")
+
+    figure_parser = subparsers.add_parser("figure", help="regenerate one figure")
+    figure_parser.add_argument("figure_id", choices=sorted(ALL_FIGURES))
+
+    report_parser = subparsers.add_parser("report", help="regenerate every figure")
+    report_parser.add_argument("--output", default=None, help="write the report to this file")
+
+    diag_parser = subparsers.add_parser(
+        "diagnose", help="run the Fig. 17 fault scenarios and print the suspects"
+    )
+    diag_parser.add_argument("--threshold", type=float, default=5.0)
+
+    trace_parser = subparsers.add_parser("trace", help="run one experiment and trace it")
+    trace_parser.add_argument("--clients", type=int, default=200)
+    trace_parser.add_argument("--workload", choices=["browse_only", "default"], default="browse_only")
+    trace_parser.add_argument("--max-threads", type=int, default=40)
+    trace_parser.add_argument("--window", type=float, default=0.010)
+    trace_parser.add_argument("--clock-skew", type=float, default=0.001)
+    trace_parser.add_argument("--runtime", type=float, default=8.0)
+    trace_parser.add_argument("--noise", action="store_true", help="enable noise traffic")
+    trace_parser.add_argument(
+        "--fault",
+        choices=["none", "ejb_delay", "database_lock", "ejb_network"],
+        default="none",
+    )
+    trace_parser.add_argument("--seed", type=int, default=17)
+    return parser
+
+
+def _fault_from_name(name: str) -> FaultConfig:
+    return {
+        "none": FaultConfig.none(),
+        "ejb_delay": FaultConfig.ejb_delay_case(),
+        "database_lock": FaultConfig.database_lock_case(),
+        "ejb_network": FaultConfig.ejb_network_case(),
+    }[name]
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    config = RubisConfig(
+        clients=args.clients,
+        workload=args.workload,
+        max_threads=args.max_threads,
+        clock_skew=args.clock_skew,
+        stages=WorkloadStages(up_ramp=1.5, runtime=args.runtime, down_ramp=0.5),
+        noise=NoiseConfig.paper_noise() if args.noise else NoiseConfig.quiet(),
+        faults=_fault_from_name(args.fault),
+        seed=args.seed,
+    )
+    run = run_rubis(config)
+    trace = run.trace(window=args.window)
+    accuracy = trace.accuracy(run.ground_truth)
+    print(f"simulated duration      : {run.simulated_duration:.1f} s")
+    print(f"requests completed      : {run.completed_requests}")
+    print(f"throughput              : {run.throughput:.1f} req/s")
+    print(f"mean response time      : {run.mean_response_time * 1000:.1f} ms")
+    print(f"activities logged       : {run.total_activities}")
+    print(f"causal paths (CAGs)     : {trace.request_count}")
+    print(f"correlation time        : {trace.correlation_time:.3f} s")
+    print(f"path accuracy           : {accuracy.accuracy * 100:.2f} %")
+    profile = trace.profile("trace")
+    print("latency percentages of the dominant pattern:")
+    for label, value in sorted(profile.percentages.items()):
+        print(f"  {label:16s} {value:6.1f} %")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    scale = SCALES[args.scale] if args.scale else default_scale()
+
+    if args.command == "list":
+        for figure_id in sorted(ALL_FIGURES):
+            print(figure_id)
+        return 0
+    if args.command == "figure":
+        result = ALL_FIGURES[args.figure_id](scale)
+        print(render_table(result))
+        return 0
+    if args.command == "report":
+        results = [generator(scale) for generator in ALL_FIGURES.values()]
+        if args.output:
+            write_report(results, args.output)
+            print(f"report written to {args.output}")
+        else:
+            for result in results:
+                print(render_table(result))
+                print()
+        return 0
+    if args.command == "diagnose":
+        suspects = figure17_diagnosis(scale, threshold=args.threshold)
+        for scenario, components in suspects.items():
+            listed = ", ".join(components) if components else "(none above threshold)"
+            print(f"{scenario:16s} -> {listed}")
+        return 0
+    if args.command == "trace":
+        return _command_trace(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

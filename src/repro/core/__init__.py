@@ -1,0 +1,102 @@
+"""Core of the PreciseTracer reproduction.
+
+This package contains the paper's primary contribution: the precise
+request-tracing algorithm (ranker + engine), the Component Activity Graph
+abstraction, and the analysis layer built on top of it (pattern
+classification, latency percentages, performance debugging, accuracy
+scoring).
+"""
+
+from .accuracy import AccuracyReport, GroundTruthRequest, PathJudgement, path_accuracy
+from .activity import Activity, ActivityType, ContextId, MessageId, RULE2_PRIORITY
+from .cag import CAG, CAGError, CONTEXT_EDGE, Edge, MESSAGE_EDGE
+from .correlator import CorrelationResult, Correlator
+from .debugging import (
+    Diagnosis,
+    LatencyProfile,
+    SegmentChange,
+    compare_profiles,
+    diagnose,
+    profile_series,
+)
+from .engine import CorrelationEngine, EngineStats
+from .export import cag_to_dict, cag_to_dot, cag_to_json, trace_summary, trace_summary_json
+from .index_maps import ContextMap, MessageMap
+from .latency import (
+    LatencyBreakdown,
+    average_breakdown,
+    average_duration,
+    breakdown_for_cag,
+    percentage_table,
+    segment_label,
+)
+from .log_format import (
+    ActivityClassifier,
+    FrontendSpec,
+    LogFormatError,
+    RawRecord,
+    format_record,
+    load_activities,
+    parse_log,
+    parse_record,
+)
+from .patterns import PathPattern, PatternClassifier, cag_signature, classify, dominant_pattern
+from .ranker import Ranker, RankerStats
+from .tracer import PreciseTracer, TraceResult
+
+__all__ = [
+    "AccuracyReport",
+    "Activity",
+    "ActivityClassifier",
+    "ActivityType",
+    "CAG",
+    "CAGError",
+    "CONTEXT_EDGE",
+    "ContextId",
+    "ContextMap",
+    "CorrelationEngine",
+    "CorrelationResult",
+    "Correlator",
+    "Diagnosis",
+    "Edge",
+    "EngineStats",
+    "FrontendSpec",
+    "GroundTruthRequest",
+    "LatencyBreakdown",
+    "LatencyProfile",
+    "LogFormatError",
+    "MESSAGE_EDGE",
+    "MessageId",
+    "MessageMap",
+    "PathJudgement",
+    "PathPattern",
+    "PatternClassifier",
+    "PreciseTracer",
+    "RULE2_PRIORITY",
+    "Ranker",
+    "RankerStats",
+    "RawRecord",
+    "SegmentChange",
+    "TraceResult",
+    "average_breakdown",
+    "average_duration",
+    "breakdown_for_cag",
+    "cag_signature",
+    "cag_to_dict",
+    "cag_to_dot",
+    "cag_to_json",
+    "trace_summary",
+    "trace_summary_json",
+    "classify",
+    "compare_profiles",
+    "diagnose",
+    "dominant_pattern",
+    "format_record",
+    "load_activities",
+    "parse_log",
+    "parse_record",
+    "path_accuracy",
+    "percentage_table",
+    "profile_series",
+    "segment_label",
+]

@@ -1,0 +1,168 @@
+"""Path-accuracy evaluation against ground truth (Section 5.2).
+
+The paper validates PreciseTracer by modifying RUBiS to tag every request
+with a globally-unique id and to log, per tier, the servicing process /
+thread and the start and end times.  A reconstructed causal path is
+*correct* when all its attributes are consistent with that oracle, and
+
+    path accuracy = correct paths / all logged requests.
+
+Our simulated service plays the same trick: the simulator knows which
+request caused every activity (``Activity.request_id``) and records a
+:class:`GroundTruthRequest` per request.  The tracer never reads either;
+they are only consulted here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .cag import CAG
+
+ContextTuple = Tuple[str, str, int, int]
+
+
+@dataclass
+class GroundTruthRequest:
+    """Oracle record for one request, as the instrumented service logs it."""
+
+    request_id: int
+    start_time: float
+    end_time: float
+    #: execution entities (hostname, program, pid, tid) that serviced the
+    #: request, one or more per tier.
+    contexts: Set[ContextTuple] = field(default_factory=set)
+    #: request type name (ViewItem, ...); not used for correctness, only
+    #: for reporting.
+    request_type: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+@dataclass
+class PathJudgement:
+    """Why one CAG was judged correct or incorrect."""
+
+    cag: CAG
+    request_id: Optional[int]
+    correct: bool
+    reason: str = ""
+
+
+@dataclass
+class AccuracyReport:
+    """Outcome of scoring a trace against the oracle."""
+
+    total_requests: int
+    correct_paths: int
+    false_positives: int
+    false_negatives: int
+    judgements: List[PathJudgement] = field(default_factory=list)
+
+    @property
+    def accuracy(self) -> float:
+        """correct paths / all logged requests (the paper's metric)."""
+        if self.total_requests == 0:
+            return 1.0
+        return self.correct_paths / self.total_requests
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "total_requests": float(self.total_requests),
+            "correct_paths": float(self.correct_paths),
+            "false_positives": float(self.false_positives),
+            "false_negatives": float(self.false_negatives),
+            "accuracy": self.accuracy,
+        }
+
+
+def judge_cag(
+    cag: CAG,
+    ground_truth: Mapping[int, GroundTruthRequest],
+    time_tolerance: float,
+) -> PathJudgement:
+    """Judge a single CAG against the oracle.
+
+    A CAG is correct when:
+
+    * all its activities carry exactly one ground-truth request id,
+    * that id exists in the oracle,
+    * the execution entities along the path are exactly the entities the
+      oracle recorded for that request,
+    * its BEGIN/END timestamps match the oracle's start/end times within
+      ``time_tolerance`` (both are observed on the frontend node, so no
+      clock-skew correction is needed).
+    """
+    ids = cag.request_ids()
+    if len(ids) != 1:
+        reason = "mixed request ids" if len(ids) > 1 else "no request id"
+        return PathJudgement(cag=cag, request_id=None, correct=False, reason=reason)
+    request_id = next(iter(ids))
+    truth = ground_truth.get(request_id)
+    if truth is None:
+        return PathJudgement(
+            cag=cag, request_id=request_id, correct=False, reason="unknown request id"
+        )
+
+    path_contexts = set(cag.contexts())
+    if path_contexts != truth.contexts:
+        missing = truth.contexts - path_contexts
+        extra = path_contexts - truth.contexts
+        return PathJudgement(
+            cag=cag,
+            request_id=request_id,
+            correct=False,
+            reason=f"context mismatch (missing={len(missing)}, extra={len(extra)})",
+        )
+
+    if abs(cag.begin_timestamp - truth.start_time) > time_tolerance:
+        return PathJudgement(
+            cag=cag, request_id=request_id, correct=False, reason="start time mismatch"
+        )
+    end_ts = cag.end_timestamp
+    if end_ts is None or abs(end_ts - truth.end_time) > time_tolerance:
+        return PathJudgement(
+            cag=cag, request_id=request_id, correct=False, reason="end time mismatch"
+        )
+
+    return PathJudgement(cag=cag, request_id=request_id, correct=True, reason="ok")
+
+
+def path_accuracy(
+    cags: Sequence[CAG],
+    ground_truth: Mapping[int, GroundTruthRequest],
+    time_tolerance: float = 1e-6,
+) -> AccuracyReport:
+    """Score a set of reconstructed CAGs against the oracle.
+
+    * a *correct path* matches its ground-truth request exactly,
+    * a *false positive* is a CAG that matches no request or mixes several,
+    * a *false negative* is a logged request for which no correct CAG exists.
+    """
+    judgements = [judge_cag(cag, ground_truth, time_tolerance) for cag in cags]
+    matched_ids: Set[int] = set()
+    correct = 0
+    false_positives = 0
+    for judgement in judgements:
+        if judgement.correct and judgement.request_id is not None:
+            if judgement.request_id in matched_ids:
+                # Two CAGs claiming the same request: only one can be real.
+                false_positives += 1
+                judgement.correct = False
+                judgement.reason = "duplicate path for request"
+                continue
+            matched_ids.add(judgement.request_id)
+            correct += 1
+        else:
+            false_positives += 1
+    false_negatives = len(set(ground_truth) - matched_ids)
+    return AccuracyReport(
+        total_requests=len(ground_truth),
+        correct_paths=correct,
+        false_positives=false_positives,
+        false_negatives=false_negatives,
+        judgements=judgements,
+    )

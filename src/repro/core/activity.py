@@ -1,0 +1,260 @@
+"""Activity model for PreciseTracer.
+
+An *activity* is one interaction event observed in the operating-system
+kernel while a component of a multi-tier service handles a request.  The
+paper (Section 3.1) defines four activity types:
+
+* ``SEND``    -- a process sent a message on a TCP connection,
+* ``RECEIVE`` -- a process received a message on a TCP connection,
+* ``BEGIN``   -- the first RECEIVE of a new request at the frontend tier,
+* ``END``     -- the SEND of the final response back to the client.
+
+For each activity exactly four attributes are logged: the activity type,
+a local timestamp, a *context identifier* (hostname, program name, pid,
+tid) and a *message identifier* (sender ip:port, receiver ip:port, size).
+This module defines the data structures for those attributes.  Everything
+downstream (ranker, engine, CAG) consumes only these objects -- no
+application knowledge ever leaks in, which is the paper's core premise.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class ActivityType(enum.IntEnum):
+    """The four activity types of Section 3.1.
+
+    The integer values encode the candidate-selection priority of the
+    ranker's Rule 2 (Section 4.1):
+
+        BEGIN < SEND < END < RECEIVE < MAX
+
+    A *lower* value means the activity should be delivered to the engine
+    *earlier* when several queue heads compete.
+    """
+
+    BEGIN = 0
+    SEND = 1
+    END = 2
+    RECEIVE = 3
+    MAX = 4
+
+    @property
+    def is_send_like(self) -> bool:
+        """True for activities that put bytes on the wire (SEND, END)."""
+        return self in (ActivityType.SEND, ActivityType.END)
+
+    @property
+    def is_receive_like(self) -> bool:
+        """True for activities that take bytes off the wire (RECEIVE, BEGIN)."""
+        return self in (ActivityType.RECEIVE, ActivityType.BEGIN)
+
+
+#: Rule 2 priority order, exposed for tests and documentation.
+RULE2_PRIORITY: Tuple[ActivityType, ...] = (
+    ActivityType.BEGIN,
+    ActivityType.SEND,
+    ActivityType.END,
+    ActivityType.RECEIVE,
+    ActivityType.MAX,
+)
+
+
+@dataclass(frozen=True, order=True)
+class ContextId:
+    """The execution-entity identifier of an activity.
+
+    The paper uses the tuple (hostname, program name, process id, thread
+    id).  Two activities produced by the same process *and* thread share a
+    context; the adjacent-context relation is defined within one context.
+    """
+
+    hostname: str
+    program: str
+    pid: int
+    tid: int
+
+    def as_tuple(self) -> Tuple[str, str, int, int]:
+        """Return the raw 4-tuple used as ``cmap`` key."""
+        return (self.hostname, self.program, self.pid, self.tid)
+
+    @property
+    def entity(self) -> Tuple[str, str, int, int]:
+        """Alias for :meth:`as_tuple` (name used in older call sites)."""
+        return self.as_tuple()
+
+    @property
+    def component(self) -> Tuple[str, str]:
+        """The component identity used for pattern isomorphism.
+
+        Different requests are handled by different worker processes or
+        threads of the *same* component, so pattern classification only
+        looks at (hostname, program) -- see Section 3.2.
+        """
+        return (self.hostname, self.program)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.hostname}/{self.program}[{self.pid}:{self.tid}]"
+
+
+@dataclass(frozen=True, order=True)
+class MessageId:
+    """The message identifier of an activity.
+
+    The paper's tuple is (IP of sender, port of sender, IP of receiver,
+    port of receiver, message size).  The size is *not* part of the
+    matching key -- segmentation makes sender and receiver sizes differ --
+    so :meth:`connection_key` strips it.
+    """
+
+    src_ip: str
+    src_port: int
+    dst_ip: str
+    dst_port: int
+    size: int
+
+    def connection_key(self) -> Tuple[str, int, str, int]:
+        """Directional connection 4-tuple, the ``mmap`` key."""
+        return (self.src_ip, self.src_port, self.dst_ip, self.dst_port)
+
+    def reversed_key(self) -> Tuple[str, int, str, int]:
+        """The 4-tuple of the opposite direction on the same connection."""
+        return (self.dst_ip, self.dst_port, self.src_ip, self.src_port)
+
+    def undirected_key(self) -> Tuple[Tuple[str, int], Tuple[str, int]]:
+        """Connection identity irrespective of direction."""
+        ends = sorted([(self.src_ip, self.src_port), (self.dst_ip, self.dst_port)])
+        return (ends[0], ends[1])
+
+    def with_size(self, size: int) -> "MessageId":
+        """Return a copy carrying a different byte count."""
+        return MessageId(self.src_ip, self.src_port, self.dst_ip, self.dst_port, size)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.src_ip}:{self.src_port}-"
+            f"{self.dst_ip}:{self.dst_port}({self.size}B)"
+        )
+
+
+_activity_counter = itertools.count()
+
+
+@dataclass
+class Activity:
+    """One logged kernel interaction event.
+
+    Attributes
+    ----------
+    type:
+        One of :class:`ActivityType`.
+    timestamp:
+        Local timestamp, in seconds, read from the clock of the node the
+        activity was observed on.  Clock skew between nodes is expected
+        and tolerated by the algorithm.
+    context:
+        The execution-entity identifier.
+    message:
+        The message identifier.  ``size`` is mutated by the engine while
+        it merges segmented SEND/RECEIVE parts, so ``Activity`` keeps its
+        own mutable ``size`` field initialised from the message id.
+    request_id:
+        Optional ground-truth request id.  It is *never* consulted by the
+        tracing algorithm; it exists purely so that the accuracy
+        evaluation (Section 5.2) can compare reconstructed causal paths
+        against an oracle, exactly like the paper's modified RUBiS.
+    """
+
+    type: ActivityType
+    timestamp: float
+    context: ContextId
+    message: MessageId
+    request_id: Optional[int] = None
+    seq: int = field(default_factory=lambda: next(_activity_counter))
+
+    # Mutable byte counter used by the engine's n-to-n merging.  It starts
+    # as the logged message size and is adjusted as parts are merged.
+    size: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            self.size = self.message.size
+
+    # -- identity helpers -------------------------------------------------
+
+    @property
+    def context_key(self) -> Tuple[str, str, int, int]:
+        """Key used by the ``cmap`` (adjacent-context matching)."""
+        return self.context.as_tuple()
+
+    @property
+    def message_key(self) -> Tuple[str, int, str, int]:
+        """Key used by the ``mmap`` (message matching).
+
+        SEND activities are stored under their own direction; a RECEIVE
+        looks up the *same* direction (the sender's ip:port still appears
+        first in the receiver's log record), so both sides share one key.
+        """
+        return self.message.connection_key()
+
+    @property
+    def component(self) -> Tuple[str, str]:
+        """(hostname, program) of the observing component."""
+        return self.context.component
+
+    @property
+    def node_key(self) -> str:
+        """Which ranker queue this activity belongs to.
+
+        The paper groups activities "according to the IP addresses of the
+        context identifiers"; activities observed on one node share one
+        local clock and therefore one queue.  We use the hostname, which
+        identifies the node just as well as its IP.
+        """
+        return self.context.hostname
+
+    @property
+    def priority(self) -> int:
+        """Rule 2 priority (smaller is delivered earlier)."""
+        return int(self.type)
+
+    def is_noise_candidate(self) -> bool:
+        """Whether this activity could possibly be classified as noise.
+
+        Only receive-like activities are ever discarded by ``is_noise``;
+        send-like noise is harmless because nothing will ever match it and
+        it simply ages out of the mmap.
+        """
+        return self.type is ActivityType.RECEIVE
+
+    def clone(self) -> "Activity":
+        """Deep-ish copy used by tests and the baselines."""
+        return Activity(
+            type=self.type,
+            timestamp=self.timestamp,
+            context=self.context,
+            message=self.message,
+            request_id=self.request_id,
+            size=self.size,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Activity({self.type.name}, t={self.timestamp:.6f}, "
+            f"ctx={self.context}, msg={self.message})"
+        )
+
+
+def sort_key(activity: Activity) -> Tuple[float, int, int]:
+    """Stable sort key for activities observed on one node.
+
+    Within one node the local clock orders activities; ties (possible when
+    timestamps are coarse) are broken by type priority and then by the
+    monotone sequence number assigned at creation, which preserves log
+    order.
+    """
+    return (activity.timestamp, activity.priority, activity.seq)

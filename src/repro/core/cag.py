@@ -1,0 +1,316 @@
+"""Component Activity Graph (CAG) abstraction.
+
+A CAG is a directed acyclic graph ``G(V, E)`` whose vertices are the
+activities caused by one individual request and whose edges encode the two
+happened-before relations of Section 3.2:
+
+* **adjacent context relation** (``x --c--> y``): x happened right before
+  y in the *same* execution entity (process or kernel thread);
+* **message relation** (``x --m--> y``): x is the SEND of a message and y
+  is the RECEIVE of the same message in a different execution entity.
+
+Structural invariant (Section 3.2): every vertex has at most two parents,
+and only a RECEIVE vertex may have two -- one context parent and one
+message parent.
+
+The CAG is the unit handed to the analysis layer: latency extraction,
+pattern classification and performance debugging all operate on CAGs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .activity import Activity, ActivityType
+
+#: Edge kinds.
+CONTEXT_EDGE = "context"
+MESSAGE_EDGE = "message"
+
+_cag_counter = itertools.count()
+
+
+class CAGError(RuntimeError):
+    """Raised when an operation would violate the CAG invariants."""
+
+
+@dataclass
+class Edge:
+    """A directed edge of a CAG."""
+
+    parent: Activity
+    child: Activity
+    kind: str  # CONTEXT_EDGE or MESSAGE_EDGE
+
+    def latency(self) -> float:
+        """Observed latency across this edge (child local time minus
+        parent local time).  For message edges between different nodes
+        the value embeds the clock skew, exactly as the paper notes."""
+        return self.child.timestamp - self.parent.timestamp
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Edge({self.parent.type.name}->{self.child.type.name}, {self.kind})"
+
+
+class CAG:
+    """The causal path of one individual request.
+
+    Vertices are added in the order the correlation engine discovers them,
+    which (by construction of the ranker) is a valid topological order of
+    the happened-before relation.
+    """
+
+    def __init__(self, root: Activity, cag_id: Optional[int] = None) -> None:
+        if not isinstance(root, Activity):
+            raise CAGError("CAG root must be an Activity")
+        self.cag_id: int = cag_id if cag_id is not None else next(_cag_counter)
+        self.root: Activity = root
+        self._vertices: List[Activity] = [root]
+        self._vertex_ids: Set[int] = {id(root)}
+        self._edges: List[Edge] = []
+        self._parents: Dict[int, List[Edge]] = {id(root): []}
+        self._children: Dict[int, List[Edge]] = {id(root): []}
+        self.finished: bool = False
+
+    # -- construction ------------------------------------------------------
+
+    def add_vertex(self, activity: Activity) -> None:
+        """Add an activity vertex without connecting it yet."""
+        if self.finished:
+            raise CAGError("cannot add vertices to a finished CAG")
+        if id(activity) in self._vertex_ids:
+            raise CAGError("activity already present in CAG")
+        self._vertices.append(activity)
+        self._vertex_ids.add(id(activity))
+        self._parents[id(activity)] = []
+        self._children[id(activity)] = []
+
+    def add_edge(self, parent: Activity, child: Activity, kind: str) -> Edge:
+        """Add a context or message edge.
+
+        Both endpoints must already be vertices.  The Section 3.2
+        invariant (at most two parents, two only for RECEIVE with one
+        context and one message parent) is enforced here so that a buggy
+        engine fails loudly instead of producing malformed paths.
+        """
+        if kind not in (CONTEXT_EDGE, MESSAGE_EDGE):
+            raise CAGError(f"unknown edge kind {kind!r}")
+        if id(parent) not in self._vertex_ids:
+            raise CAGError("edge parent is not a vertex of this CAG")
+        if id(child) not in self._vertex_ids:
+            raise CAGError("edge child is not a vertex of this CAG")
+        if parent is child:
+            raise CAGError("self edges are not allowed")
+
+        existing = self._parents[id(child)]
+        if len(existing) >= 2:
+            raise CAGError("a vertex may have at most two parents")
+        if existing:
+            if child.type is not ActivityType.RECEIVE:
+                raise CAGError("only RECEIVE vertices may have two parents")
+            if existing[0].kind == kind:
+                raise CAGError(
+                    "the two parents of a RECEIVE must use different relations"
+                )
+
+        edge = Edge(parent=parent, child=child, kind=kind)
+        self._edges.append(edge)
+        self._parents[id(child)].append(edge)
+        self._children[id(parent)].append(edge)
+        return edge
+
+    def append(self, activity: Activity, parent: Activity, kind: str) -> Edge:
+        """Add a vertex and connect it to ``parent`` in one step."""
+        self.add_vertex(activity)
+        return self.add_edge(parent, activity, kind)
+
+    def finish(self) -> None:
+        """Mark the CAG as complete (an END activity was correlated)."""
+        self.finished = True
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, activity: Activity) -> bool:
+        return id(activity) in self._vertex_ids
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def vertices(self) -> Sequence[Activity]:
+        return tuple(self._vertices)
+
+    @property
+    def edges(self) -> Sequence[Edge]:
+        return tuple(self._edges)
+
+    def parents_of(self, activity: Activity) -> List[Edge]:
+        return list(self._parents.get(id(activity), []))
+
+    def children_of(self, activity: Activity) -> List[Edge]:
+        return list(self._children.get(id(activity), []))
+
+    def context_parent(self, activity: Activity) -> Optional[Activity]:
+        for edge in self._parents.get(id(activity), []):
+            if edge.kind == CONTEXT_EDGE:
+                return edge.parent
+        return None
+
+    def message_parent(self, activity: Activity) -> Optional[Activity]:
+        for edge in self._parents.get(id(activity), []):
+            if edge.kind == MESSAGE_EDGE:
+                return edge.parent
+        return None
+
+    @property
+    def end_activity(self) -> Optional[Activity]:
+        """The END vertex, if the request completed."""
+        for activity in reversed(self._vertices):
+            if activity.type is ActivityType.END:
+                return activity
+        return None
+
+    @property
+    def begin_timestamp(self) -> float:
+        return self.root.timestamp
+
+    @property
+    def end_timestamp(self) -> Optional[float]:
+        end = self.end_activity
+        return end.timestamp if end is not None else None
+
+    def duration(self) -> Optional[float]:
+        """End-to-end latency of the request as seen at the frontend node.
+
+        BEGIN and END are observed on the same node, so this duration is
+        immune to inter-node clock skew.
+        """
+        end_ts = self.end_timestamp
+        if end_ts is None:
+            return None
+        return end_ts - self.begin_timestamp
+
+    def components(self) -> List[Tuple[str, str]]:
+        """Distinct (hostname, program) pairs in first-seen order."""
+        seen: List[Tuple[str, str]] = []
+        for activity in self._vertices:
+            component = activity.component
+            if component not in seen:
+                seen.append(component)
+        return seen
+
+    def contexts(self) -> List[Tuple[str, str, int, int]]:
+        """Distinct execution entities in first-seen order."""
+        seen: List[Tuple[str, str, int, int]] = []
+        for activity in self._vertices:
+            key = activity.context_key
+            if key not in seen:
+                seen.append(key)
+        return seen
+
+    def request_ids(self) -> Set[int]:
+        """Ground-truth request ids attached to the member activities.
+
+        A correctly correlated CAG carries exactly one distinct id; mixed
+        ids indicate a mis-correlation.  Used only for evaluation.
+        """
+        return {
+            activity.request_id
+            for activity in self._vertices
+            if activity.request_id is not None
+        }
+
+    # -- causal ordering ---------------------------------------------------
+
+    def topological_order(self) -> List[Activity]:
+        """Vertices in a topological order of the happened-before DAG."""
+        indegree: Dict[int, int] = {
+            id(vertex): len(self._parents[id(vertex)]) for vertex in self._vertices
+        }
+        order_index = {id(vertex): i for i, vertex in enumerate(self._vertices)}
+        ready = [vertex for vertex in self._vertices if indegree[id(vertex)] == 0]
+        ready.sort(key=lambda v: order_index[id(v)])
+        result: List[Activity] = []
+        while ready:
+            vertex = ready.pop(0)
+            result.append(vertex)
+            for edge in self._children[id(vertex)]:
+                indegree[id(edge.child)] -= 1
+                if indegree[id(edge.child)] == 0:
+                    # keep insertion order among simultaneously-ready nodes
+                    ready.append(edge.child)
+                    ready.sort(key=lambda v: order_index[id(v)])
+        if len(result) != len(self._vertices):
+            raise CAGError("CAG contains a cycle")
+        return result
+
+    def primary_path(self) -> List[Edge]:
+        """The causal chain used for latency accounting.
+
+        Starting from the root, each vertex is reached through exactly one
+        *primary* parent: the message parent when it exists (the causally
+        immediate predecessor across the network), otherwise the context
+        parent.  The resulting edge list covers every vertex exactly once
+        and is what Section 3.2 uses to attribute latency to components
+        and to interactions.
+        """
+        primary_edges: List[Edge] = []
+        for vertex in self._vertices[1:]:
+            parent_edges = self._parents[id(vertex)]
+            if not parent_edges:
+                # Disconnected vertex (should not happen with a correct
+                # engine); skip rather than crash analysis of a deformed CAG.
+                continue
+            message_edges = [e for e in parent_edges if e.kind == MESSAGE_EDGE]
+            primary_edges.append(message_edges[0] if message_edges else parent_edges[0])
+        return primary_edges
+
+    def is_deformed(self) -> bool:
+        """A deformed CAG misses activities (e.g. the END) or has
+        disconnected vertices -- the symptom the paper attributes to lost
+        activities under network congestion."""
+        if not self.finished:
+            return True
+        for vertex in self._vertices[1:]:
+            if not self._parents[id(vertex)]:
+                return True
+        return False
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check all structural invariants; raise :class:`CAGError` if any
+        is violated.  Used heavily by the property-based tests."""
+        for vertex in self._vertices:
+            parent_edges = self._parents[id(vertex)]
+            if len(parent_edges) > 2:
+                raise CAGError("vertex with more than two parents")
+            if len(parent_edges) == 2:
+                if vertex.type is not ActivityType.RECEIVE:
+                    raise CAGError("non-RECEIVE vertex with two parents")
+                kinds = {edge.kind for edge in parent_edges}
+                if kinds != {CONTEXT_EDGE, MESSAGE_EDGE}:
+                    raise CAGError("two parents must be one context + one message")
+            for edge in parent_edges:
+                if edge.kind == MESSAGE_EDGE:
+                    if not edge.parent.type.is_send_like:
+                        raise CAGError("message edge parent must be send-like")
+                    if not vertex.type.is_receive_like:
+                        raise CAGError("message edge child must be receive-like")
+                if edge.kind == CONTEXT_EDGE:
+                    if edge.parent.context_key != vertex.context_key:
+                        raise CAGError("context edge across different contexts")
+        # acyclicity (raises on cycle)
+        self.topological_order()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "finished" if self.finished else "open"
+        return f"CAG(id={self.cag_id}, vertices={len(self)}, {state})"
+
+
+def iter_edges_in_causal_order(cag: CAG) -> Iterator[Edge]:
+    """Yield the primary-path edges ordered by their child's position."""
+    for edge in cag.primary_path():
+        yield edge

@@ -1,0 +1,151 @@
+"""The Correlator: ranker + engine wired together (Fig. 2).
+
+The Correlator is the offline analysis component of PreciseTracer.  It
+takes the activity logs gathered on every node (already transformed into
+typed activities), performs the three steps of Section 4:
+
+1. sort each node's activities by its local timestamps,
+2. let the *ranker* choose candidate activities through the sliding
+   time window,
+3. let the *engine* correlate candidates into CAGs,
+
+and reports the resulting CAGs together with runtime statistics
+(correlation time, memory consumption, noise counters) that the
+evaluation section of the paper measures.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .activity import Activity
+from .cag import CAG
+from .engine import CorrelationEngine, EngineStats
+from .ranker import Ranker, RankerStats
+
+#: Approximate in-memory footprint of one buffered activity, used by the
+#: memory accounting below.  Measured once on CPython for the Activity
+#: dataclass plus its identifiers; the precise constant does not matter,
+#: only proportionality to the number of live objects (Fig. 11).
+_ACTIVITY_FOOTPRINT_BYTES = 480
+
+
+@dataclass
+class CorrelationResult:
+    """Everything the Correlator produced for one trace."""
+
+    cags: List[CAG]
+    incomplete_cags: List[CAG]
+    correlation_time: float
+    peak_buffered_activities: int
+    peak_state_entries: int
+    ranker_stats: RankerStats
+    engine_stats: EngineStats
+    window: float
+    total_activities: int
+
+    @property
+    def completed_requests(self) -> int:
+        return len(self.cags)
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        """Estimated peak working-set of the Correlator.
+
+        The dominant term is the ranker buffer (it grows with the sliding
+        window, which is exactly the effect Fig. 11 demonstrates); the
+        engine's index maps and open CAGs contribute the rest.
+        """
+        live_entries = self.peak_buffered_activities + self.peak_state_entries
+        return live_entries * _ACTIVITY_FOOTPRINT_BYTES
+
+    def summary(self) -> Dict[str, float]:
+        """Compact dictionary used by reports and benchmarks."""
+        return {
+            "completed_requests": float(self.completed_requests),
+            "incomplete_cags": float(len(self.incomplete_cags)),
+            "correlation_time_s": self.correlation_time,
+            "peak_memory_bytes": float(self.peak_memory_bytes),
+            "total_activities": float(self.total_activities),
+            "noise_discarded": float(self.ranker_stats.noise_discarded),
+            "window_s": self.window,
+        }
+
+
+class Correlator:
+    """Offline correlator over a set of per-node activity streams."""
+
+    def __init__(self, window: float = 0.010, sample_interval: int = 256) -> None:
+        """
+        Parameters
+        ----------
+        window:
+            Sliding-time-window size in seconds (any positive value).
+        sample_interval:
+            How often (in delivered candidates) the memory accounting
+            samples the live-object counts.  Sampling keeps the overhead
+            of bookkeeping negligible for large traces.
+        """
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        self.window = window
+        self.sample_interval = sample_interval
+
+    # -- public API --------------------------------------------------------
+
+    def correlate(self, activities: Iterable[Activity]) -> CorrelationResult:
+        """Correlate a flat activity collection (any node order)."""
+        by_node: Dict[str, List[Activity]] = {}
+        total = 0
+        for activity in activities:
+            by_node.setdefault(activity.node_key, []).append(activity)
+            total += 1
+        return self.correlate_streams(by_node, total_activities=total)
+
+    def correlate_streams(
+        self,
+        streams: Dict[str, Sequence[Activity]],
+        total_activities: Optional[int] = None,
+    ) -> CorrelationResult:
+        """Correlate per-node streams (the natural shape of gathered logs)."""
+        if total_activities is None:
+            total_activities = sum(len(s) for s in streams.values())
+
+        engine = CorrelationEngine()
+        ranker = Ranker(streams, mmap=engine.mmap, window=self.window)
+
+        peak_buffered = 0
+        peak_state = 0
+        processed = 0
+
+        start = time.perf_counter()
+        while True:
+            current = ranker.rank()
+            if current is None:
+                break
+            engine.process(current)
+            processed += 1
+            if processed % self.sample_interval == 0:
+                peak_buffered = max(peak_buffered, ranker.buffered_count())
+                peak_state = max(peak_state, engine.pending_state_size())
+        elapsed = time.perf_counter() - start
+
+        peak_buffered = max(peak_buffered, ranker.stats.max_buffered)
+        peak_state = max(peak_state, engine.pending_state_size())
+
+        return CorrelationResult(
+            cags=list(engine.finished_cags),
+            incomplete_cags=list(engine.open_cags),
+            correlation_time=elapsed,
+            peak_buffered_activities=peak_buffered,
+            peak_state_entries=peak_state,
+            ranker_stats=ranker.stats,
+            engine_stats=engine.stats,
+            window=self.window,
+            total_activities=total_activities,
+        )

@@ -1,0 +1,200 @@
+"""Performance debugging from latency-percentage changes (Section 5.4).
+
+The paper's debugging workflow is:
+
+1. pick the most frequent causal-path pattern (e.g. ViewItem),
+2. compute the average causal path and the latency percentage of every
+   component / interaction segment,
+3. compare the percentages against a reference profile (a healthy run, or
+   a lower concurrency level) and look for segments whose share of the
+   end-to-end latency grew dramatically,
+4. map the offending segment back to a tier or to an interaction between
+   tiers.
+
+This module turns that workflow into a small API: :class:`LatencyProfile`
+captures step 1-2, :func:`compare_profiles` captures step 3, and
+:class:`Diagnosis` / :func:`diagnose` capture step 4 by ranking segments
+and describing them in terms of components and interactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .cag import CAG
+from .latency import LatencyBreakdown, average_breakdown
+from .patterns import PathPattern, dominant_pattern
+
+
+@dataclass
+class LatencyProfile:
+    """Latency percentages of one scenario (one pattern, one load level)."""
+
+    name: str
+    breakdown: LatencyBreakdown
+    request_count: int = 0
+
+    @property
+    def percentages(self) -> Dict[str, float]:
+        return self.breakdown.percentages()
+
+    @property
+    def average_latency(self) -> float:
+        return self.breakdown.total
+
+    def percentage(self, label: str) -> float:
+        return self.breakdown.percentage(label)
+
+    @classmethod
+    def from_cags(cls, name: str, cags: Sequence[CAG]) -> "LatencyProfile":
+        """Profile an explicit CAG collection (already filtered to a pattern)."""
+        return cls(name=name, breakdown=average_breakdown(cags), request_count=len(cags))
+
+    @classmethod
+    def from_pattern(cls, name: str, pattern: PathPattern) -> "LatencyProfile":
+        return cls(name=name, breakdown=pattern.average_path(), request_count=pattern.count)
+
+    @classmethod
+    def from_dominant_pattern(cls, name: str, cags: Sequence[CAG]) -> "LatencyProfile":
+        """Profile the most frequent pattern of a full trace, the paper's
+        default choice (the ViewItem analogue)."""
+        pattern = dominant_pattern(cags)
+        if pattern is None:
+            return cls(name=name, breakdown=LatencyBreakdown(), request_count=0)
+        return cls.from_pattern(name, pattern)
+
+
+@dataclass
+class SegmentChange:
+    """The change of one segment between a reference and an observed run."""
+
+    label: str
+    reference_pct: float
+    observed_pct: float
+
+    @property
+    def delta(self) -> float:
+        """Change in percentage points."""
+        return self.observed_pct - self.reference_pct
+
+    @property
+    def is_interaction(self) -> bool:
+        """True when the segment is an interaction between two components."""
+        left, _, right = self.label.partition("2")
+        return left != right
+
+    def involved_components(self) -> Tuple[str, ...]:
+        left, _, right = self.label.partition("2")
+        return (left,) if left == right else (left, right)
+
+    def describe(self) -> str:
+        kind = "interaction" if self.is_interaction else "component"
+        return (
+            f"{self.label} ({kind}): {self.reference_pct:.1f}% -> "
+            f"{self.observed_pct:.1f}% ({self.delta:+.1f} points)"
+        )
+
+
+def compare_profiles(
+    reference: LatencyProfile, observed: LatencyProfile
+) -> List[SegmentChange]:
+    """Per-segment percentage changes, largest increase first."""
+    labels = sorted(set(reference.percentages) | set(observed.percentages))
+    changes = [
+        SegmentChange(
+            label=label,
+            reference_pct=reference.percentages.get(label, 0.0),
+            observed_pct=observed.percentages.get(label, 0.0),
+        )
+        for label in labels
+    ]
+    changes.sort(key=lambda change: change.delta, reverse=True)
+    return changes
+
+
+@dataclass
+class Diagnosis:
+    """Outcome of a performance-debugging comparison."""
+
+    reference: LatencyProfile
+    observed: LatencyProfile
+    changes: List[SegmentChange]
+    threshold: float
+
+    @property
+    def anomalous_changes(self) -> List[SegmentChange]:
+        """Segments whose share grew by at least ``threshold`` points."""
+        return [change for change in self.changes if change.delta >= self.threshold]
+
+    @property
+    def has_anomaly(self) -> bool:
+        return bool(self.anomalous_changes)
+
+    @property
+    def primary_suspect(self) -> Optional[SegmentChange]:
+        anomalies = self.anomalous_changes
+        return anomalies[0] if anomalies else None
+
+    def suspected_components(self) -> List[str]:
+        """Components implicated by the anomalous segments, most suspect
+        first.  A component gets credit for every anomalous segment it
+        participates in, weighted by the segment's percentage-point growth;
+        this mirrors the paper's reasoning in Section 5.4 (e.g. for the
+        EJB_Network case all segments touching the second tier grow)."""
+        scores: Dict[str, float] = {}
+        for change in self.anomalous_changes:
+            for component in change.involved_components():
+                scores[component] = scores.get(component, 0.0) + change.delta
+        return [name for name, _ in sorted(scores.items(), key=lambda kv: -kv[1])]
+
+    def report(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"Performance diagnosis: {self.observed.name} vs {self.reference.name}",
+            f"  reference requests: {self.reference.request_count}, "
+            f"observed requests: {self.observed.request_count}",
+            f"  average latency: {self.reference.average_latency * 1000:.1f} ms -> "
+            f"{self.observed.average_latency * 1000:.1f} ms",
+        ]
+        if not self.has_anomaly:
+            lines.append("  no segment grew beyond the threshold; behaviour is comparable")
+            return "\n".join(lines)
+        lines.append("  anomalous segments (share of end-to-end latency):")
+        for change in self.anomalous_changes:
+            lines.append(f"    - {change.describe()}")
+        suspects = self.suspected_components()
+        if suspects:
+            lines.append(f"  suspected component(s): {', '.join(suspects)}")
+        return "\n".join(lines)
+
+
+def diagnose(
+    reference: LatencyProfile,
+    observed: LatencyProfile,
+    threshold: float = 10.0,
+) -> Diagnosis:
+    """Compare two profiles and flag segments growing by >= ``threshold``
+    percentage points (the paper's examples involve jumps of 10+ points)."""
+    changes = compare_profiles(reference, observed)
+    return Diagnosis(
+        reference=reference,
+        observed=observed,
+        changes=changes,
+        threshold=threshold,
+    )
+
+
+def profile_series(
+    runs: Mapping[str, Sequence[CAG]],
+    use_dominant_pattern: bool = True,
+) -> Dict[str, LatencyProfile]:
+    """Build one profile per named run (e.g. per client count or per fault
+    scenario), the shape needed for Fig. 15 / Fig. 17 style tables."""
+    profiles: Dict[str, LatencyProfile] = {}
+    for name, cags in runs.items():
+        if use_dominant_pattern:
+            profiles[name] = LatencyProfile.from_dominant_pattern(name, cags)
+        else:
+            profiles[name] = LatencyProfile.from_cags(name, cags)
+    return profiles

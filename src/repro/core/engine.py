@@ -1,0 +1,262 @@
+"""The correlation engine: CAG construction (Section 4.2, Fig. 3).
+
+The engine repeatedly fetches a candidate activity from the ranker and
+attaches it to an unfinished CAG, using the two index maps:
+
+* ``cmap`` (context identifier -> latest activity in that execution
+  entity) establishes adjacent-context relations,
+* ``mmap`` (message identifier -> pending SEND) establishes message
+  relations and supports the n-to-n SEND/RECEIVE merging of Fig. 4 by
+  tracking the outstanding byte count of each logical message.
+
+The engine also implements the thread-reuse guard of the paper (Fig. 3
+lines 29-32): the context edge into a RECEIVE is only added when both
+candidate parents already belong to the *same* CAG, which prevents an
+activity from being spliced into a previous request's path when worker
+threads are recycled from a pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .activity import Activity, ActivityType
+from .cag import CAG, CONTEXT_EDGE, MESSAGE_EDGE
+from .index_maps import ContextMap, MessageMap
+
+
+@dataclass
+class EngineStats:
+    """Counters describing what the engine did with the candidate stream."""
+
+    begins: int = 0
+    ends: int = 0
+    sends: int = 0
+    receives: int = 0
+    merged_sends: int = 0
+    partial_receives: int = 0
+    unmatched_receives: int = 0
+    unmatched_sends: int = 0
+    unmatched_ends: int = 0
+    thread_reuse_blocked: int = 0
+    oversized_receives: int = 0
+    finished_cags: int = 0
+
+
+class CorrelationEngine:
+    """Build CAGs from the candidate stream produced by the ranker."""
+
+    def __init__(self) -> None:
+        self.mmap = MessageMap()
+        self.cmap = ContextMap()
+        self.stats = EngineStats()
+        self._finished: List[CAG] = []
+        self._open: Dict[int, CAG] = {}
+        # Map from a vertex (by identity) to the CAG that owns it.  Only
+        # vertices of *open* CAGs are tracked; entries are dropped when a
+        # CAG finishes, which keeps the map size proportional to the number
+        # of in-flight requests.
+        self._owner: Dict[int, CAG] = {}
+        # Last partially-matched RECEIVE per pending SEND (by identity).
+        # Needed when the byte balance of a segmented message reaches zero
+        # while a *SEND* part is being merged (interleaved delivery): the
+        # RECEIVE vertex is then completed from here.
+        self._partial_receive: Dict[int, Activity] = {}
+
+    # -- public API --------------------------------------------------------
+
+    @property
+    def finished_cags(self) -> List[CAG]:
+        """CAGs whose END activity has been correlated (outputs)."""
+        return self._finished
+
+    @property
+    def open_cags(self) -> List[CAG]:
+        """CAGs still waiting for more activities (in-flight or deformed)."""
+        return list(self._open.values())
+
+    def pending_state_size(self) -> int:
+        """Number of live bookkeeping entries (for memory accounting)."""
+        return (
+            len(self.mmap)
+            + len(self.cmap)
+            + len(self._owner)
+            + len(self._open)
+            + len(self._partial_receive)
+        )
+
+    def process(self, current: Activity) -> Optional[CAG]:
+        """Handle one candidate activity.
+
+        Returns the CAG completed by this activity when ``current`` is the
+        END of a request, ``None`` otherwise.  This is the body of the
+        ``while`` loop of Fig. 3.
+        """
+        handler = {
+            ActivityType.BEGIN: self._handle_begin,
+            ActivityType.END: self._handle_end,
+            ActivityType.SEND: self._handle_send,
+            ActivityType.RECEIVE: self._handle_receive,
+        }.get(current.type)
+        if handler is None:  # pragma: no cover - MAX is never instantiated
+            return None
+        return handler(current)
+
+    # -- BEGIN / END ---------------------------------------------------------
+
+    def _handle_begin(self, current: Activity) -> Optional[CAG]:
+        self.stats.begins += 1
+        previous = self.cmap.latest(current.context_key)
+        if (
+            previous is not None
+            and previous.type is ActivityType.BEGIN
+            and previous.message_key == current.message_key
+            and self._owner_of(previous) is not None
+            and len(self._owner_of(previous)) == 1
+        ):
+            # The request body arrived in several kernel reads before the
+            # component did anything else: merge the parts into one BEGIN
+            # instead of opening a second (bogus) CAG.
+            previous.size += current.size
+            return None
+
+        cag = CAG(root=current)
+        self._open[cag.cag_id] = cag
+        self._owner[id(current)] = cag
+        self.cmap.update(current)
+        return None
+
+    def _handle_end(self, current: Activity) -> Optional[CAG]:
+        self.stats.ends += 1
+        parent = self.cmap.latest(current.context_key)
+        if parent is None:
+            self.stats.unmatched_ends += 1
+            return None
+        if parent.type is ActivityType.END and parent.message_key == current.message_key:
+            # Response flushed in several kernel writes; the request is
+            # already finished, just account the extra bytes.
+            parent.size += current.size
+            return None
+        cag = self._owner_of(parent)
+        if cag is None:
+            self.stats.unmatched_ends += 1
+            return None
+        cag.append(current, parent, CONTEXT_EDGE)
+        self.cmap.update(current)
+        self._finish(cag, current)
+        return cag
+
+    # -- SEND ----------------------------------------------------------------
+
+    def _handle_send(self, current: Activity) -> Optional[CAG]:
+        self.stats.sends += 1
+        parent = self.cmap.latest(current.context_key)
+        cag = self._owner_of(parent) if parent is not None else None
+        if parent is None or cag is None:
+            # A SEND with no causal predecessor belongs to traffic we do
+            # not trace (noise, or a flow whose BEGIN predates the trace).
+            self.stats.unmatched_sends += 1
+            return None
+
+        if (
+            parent.type is ActivityType.SEND
+            and parent.message_key == current.message_key
+            and self.mmap.is_pending(parent)
+        ):
+            # Fig. 3 line 15-16: consecutive kernel writes of one logical
+            # message collapse into a single SEND vertex whose byte count
+            # grows; the mmap entry is the same object, so the outstanding
+            # byte count grows with it.  If the previous SEND has already
+            # been fully matched (its bytes balanced out before this part
+            # was delivered, which interleaved delivery can produce), this
+            # part starts a fresh SEND vertex instead so the remaining
+            # receiver reads still find a pending entry to match.
+            parent.size += current.size
+            self.stats.merged_sends += 1
+            if parent.size == 0:
+                # The receiver had already consumed every byte of this
+                # logical message (its reads were delivered first); this
+                # merged part balanced the books, so complete the match
+                # with the last partial RECEIVE now.
+                receive = self._partial_receive.pop(id(parent), None)
+                if receive is not None:
+                    self._complete_receive(parent, receive, cag)
+            return None
+
+        cag.append(current, parent, CONTEXT_EDGE)
+        self._owner[id(current)] = cag
+        self.cmap.update(current)
+        self.mmap.insert(current)
+        return None
+
+    # -- RECEIVE ---------------------------------------------------------------
+
+    def _handle_receive(self, current: Activity) -> Optional[CAG]:
+        self.stats.receives += 1
+        parent_msg = self.mmap.match(current.message_key)
+        if parent_msg is None:
+            self.stats.unmatched_receives += 1
+            return None
+
+        cag = self._owner_of(parent_msg)
+        if cag is None:
+            # The owning CAG finished or was evicted; treat as unmatched.
+            self.mmap.remove(parent_msg)
+            self.stats.unmatched_receives += 1
+            return None
+
+        parent_msg.size -= current.size
+        if parent_msg.size != 0:
+            # Only part of the logical message has been matched so far
+            # (Fig. 4).  The balance may even be temporarily negative when
+            # receive parts are delivered before the sender's remaining
+            # send parts have been merged in; the entry stays in the mmap
+            # until the byte counts balance out exactly.
+            self.stats.partial_receives += 1
+            self._partial_receive[id(parent_msg)] = current
+            if parent_msg.size < 0:
+                self.stats.oversized_receives += 1
+            return None
+
+        self._partial_receive.pop(id(parent_msg), None)
+        self._complete_receive(parent_msg, current, cag)
+        return None
+
+    def _complete_receive(self, parent_msg: Activity, current: Activity, cag: CAG) -> None:
+        """All bytes of a logical message are matched: add the RECEIVE vertex."""
+        self.mmap.remove(parent_msg)
+        cag.append(current, parent_msg, MESSAGE_EDGE)
+        self._owner[id(current)] = cag
+
+        parent_cntx = self.cmap.latest(current.context_key)
+        if parent_cntx is not None and parent_cntx is not current:
+            if self._owner_of(parent_cntx) is cag:
+                cag.add_edge(parent_cntx, current, CONTEXT_EDGE)
+            else:
+                # Thread-reuse guard: the latest activity of this execution
+                # entity belongs to a different request (recycled pool
+                # thread); do not splice the paths together.
+                self.stats.thread_reuse_blocked += 1
+        self.cmap.update(current)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _owner_of(self, activity: Optional[Activity]) -> Optional[CAG]:
+        if activity is None:
+            return None
+        return self._owner.get(id(activity))
+
+    def _finish(self, cag: CAG, end_activity: Activity) -> None:
+        cag.finish()
+        self.stats.finished_cags += 1
+        self._finished.append(cag)
+        self._open.pop(cag.cag_id, None)
+        for vertex in cag.vertices:
+            self._owner.pop(id(vertex), None)
+            # Drop any still-pending SEND of this request from the mmap so
+            # stale entries cannot capture later traffic on a reused
+            # connection (and so memory stays bounded).
+            if vertex.type is ActivityType.SEND:
+                self.mmap.remove(vertex)
+                self._partial_receive.pop(id(vertex), None)

@@ -1,0 +1,124 @@
+"""Index-map data structures used by the correlation engine.
+
+Section 4 describes two index maps that hold the state of all unfinished
+CAGs:
+
+* ``mmap`` -- keyed by the *message identifier* of an activity; its value
+  is an unmatched SEND activity with the same message identifier.  It is
+  consulted both by the engine (to attach RECEIVEs) and by the ranker
+  (Rule 1 and the ``is_noise`` test).
+* ``cmap`` -- keyed by the *context identifier*; its value is the latest
+  activity observed in that execution entity.  It is used to establish
+  adjacent-context relations.
+
+Both support the basic searching / inserting / deleting operations the
+paper lists.  ``MessageMap`` generalises the paper's single-value map to a
+FIFO of pending SENDs per connection so that pipelined messages on one
+persistent connection cannot clobber each other.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Iterator, Optional, Tuple
+
+from .activity import Activity
+
+MessageKey = Tuple[str, int, str, int]
+ContextKey = Tuple[str, str, int, int]
+
+
+class MessageMap:
+    """``mmap``: pending (not yet fully received) SEND activities.
+
+    Keys are directional connection 4-tuples; values are FIFO queues of
+    SEND activities whose bytes have not all been matched by RECEIVEs yet.
+    The engine mutates ``Activity.size`` in place while matching, and pops
+    the entry once the byte count reaches zero.
+    """
+
+    def __init__(self) -> None:
+        self._pending: Dict[MessageKey, Deque[Activity]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._pending.values())
+
+    def __contains__(self, key: MessageKey) -> bool:
+        return key in self._pending and bool(self._pending[key])
+
+    def insert(self, send: Activity) -> None:
+        """Register a SEND whose bytes are awaiting matching RECEIVEs."""
+        key = send.message_key
+        self._pending.setdefault(key, deque()).append(send)
+
+    def match(self, key: MessageKey) -> Optional[Activity]:
+        """Return (without removing) the oldest pending SEND for ``key``."""
+        queue = self._pending.get(key)
+        if not queue:
+            return None
+        return queue[0]
+
+    def has_match(self, key: MessageKey) -> bool:
+        """Rule 1 / ``is_noise`` test: is there a pending SEND for ``key``?"""
+        return self.match(key) is not None
+
+    def is_pending(self, send: Activity) -> bool:
+        """Is this exact SEND still awaiting bytes from its receiver?"""
+        queue = self._pending.get(send.message_key)
+        if not queue:
+            return False
+        return any(entry is send for entry in queue)
+
+    def remove(self, send: Activity) -> None:
+        """Remove a fully-received SEND from the map."""
+        key = send.message_key
+        queue = self._pending.get(key)
+        if not queue:
+            return
+        try:
+            queue.remove(send)
+        except ValueError:
+            return
+        if not queue:
+            del self._pending[key]
+
+    def pending_sends(self) -> Iterator[Activity]:
+        """Iterate over every pending SEND (used for memory accounting)."""
+        for queue in self._pending.values():
+            yield from queue
+
+    def clear(self) -> None:
+        self._pending.clear()
+
+
+class ContextMap:
+    """``cmap``: latest activity per execution entity."""
+
+    def __init__(self) -> None:
+        self._latest: "OrderedDict[ContextKey, Activity]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._latest)
+
+    def __contains__(self, key: ContextKey) -> bool:
+        return key in self._latest
+
+    def latest(self, key: ContextKey) -> Optional[Activity]:
+        """The most recent activity observed in context ``key``."""
+        return self._latest.get(key)
+
+    def update(self, activity: Activity) -> None:
+        """Record ``activity`` as the latest one of its context."""
+        key = activity.context_key
+        if key in self._latest:
+            self._latest.move_to_end(key)
+        self._latest[key] = activity
+
+    def remove(self, key: ContextKey) -> None:
+        self._latest.pop(key, None)
+
+    def items(self) -> Iterator[Tuple[ContextKey, Activity]]:
+        return iter(self._latest.items())
+
+    def clear(self) -> None:
+        self._latest.clear()

@@ -1,0 +1,143 @@
+"""Causal-path pattern classification (Section 3.2).
+
+CAGs are classified into *causal path patterns*: groups of isomorphic
+CAGs whose corresponding vertices are activities of the same type observed
+in the same component (hostname + program; process and thread ids are
+deliberately ignored because every request may be served by a different
+worker).  For each pattern the isomorphic CAGs are aggregated into an
+*average causal path*, from which per-component latency percentages are
+read.
+
+In a RUBiS-like service different request types (ViewItem, SearchItems,
+...) issue different numbers of database round trips and therefore map to
+different patterns; the most frequent pattern is the natural target of
+performance debugging, mirroring the paper's use of ViewItem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .activity import ActivityType
+from .cag import CAG
+from .latency import LatencyBreakdown, average_breakdown, average_duration
+
+#: Vertex fingerprint: (activity type name, hostname, program).
+VertexSig = Tuple[str, str, str]
+#: Edge fingerprint: (kind, parent position, child position) in topological order.
+EdgeSig = Tuple[str, int, int]
+#: Full pattern signature.
+Signature = Tuple[Tuple[VertexSig, ...], Tuple[EdgeSig, ...]]
+
+
+def cag_signature(cag: CAG) -> Signature:
+    """Canonical isomorphism signature of a CAG.
+
+    Vertices are fingerprinted by (type, hostname, program) and ordered
+    topologically (ties broken by construction order, which is identical
+    for CAGs built from identically-shaped requests); edges are recorded
+    by the positions of their endpoints in that order.  Two CAGs with the
+    same signature are isomorphic in the paper's sense.
+    """
+    order = cag.topological_order()
+    position = {id(vertex): index for index, vertex in enumerate(order)}
+    vertex_sigs: Tuple[VertexSig, ...] = tuple(
+        (vertex.type.name, vertex.context.hostname, vertex.context.program)
+        for vertex in order
+    )
+    edge_sigs = tuple(
+        sorted(
+            (edge.kind, position[id(edge.parent)], position[id(edge.child)])
+            for edge in cag.edges
+        )
+    )
+    return (vertex_sigs, edge_sigs)
+
+
+@dataclass
+class PathPattern:
+    """One causal-path pattern: a set of isomorphic CAGs."""
+
+    signature: Signature
+    cags: List[CAG] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.cags)
+
+    @property
+    def length(self) -> int:
+        """Number of activities per causal path of this pattern."""
+        return len(self.signature[0])
+
+    def components(self) -> List[Tuple[str, str]]:
+        """Distinct (hostname, program) components along the pattern."""
+        seen: List[Tuple[str, str]] = []
+        for _type_name, hostname, program in self.signature[0]:
+            key = (hostname, program)
+            if key not in seen:
+                seen.append(key)
+        return seen
+
+    def average_path(self) -> LatencyBreakdown:
+        """The pattern's average causal path, as a latency breakdown."""
+        return average_breakdown(self.cags)
+
+    def average_latency(self) -> float:
+        """Mean end-to-end latency of the pattern's requests."""
+        return average_duration(self.cags)
+
+    def describe(self) -> str:
+        """Human-readable one-line description of the pattern."""
+        programs = [program for _, _, program in self.signature[0]]
+        hops = "->".join(programs)
+        return f"pattern[{self.count} paths, {self.length} activities]: {hops}"
+
+
+class PatternClassifier:
+    """Group CAGs into patterns and expose them sorted by frequency."""
+
+    def __init__(self) -> None:
+        self._patterns: Dict[Signature, PathPattern] = {}
+
+    def add(self, cag: CAG) -> PathPattern:
+        signature = cag_signature(cag)
+        pattern = self._patterns.get(signature)
+        if pattern is None:
+            pattern = PathPattern(signature=signature)
+            self._patterns[signature] = pattern
+        pattern.cags.append(cag)
+        return pattern
+
+    def add_all(self, cags: Sequence[CAG]) -> None:
+        for cag in cags:
+            self.add(cag)
+
+    @property
+    def patterns(self) -> List[PathPattern]:
+        """All patterns, most frequent first."""
+        return sorted(
+            self._patterns.values(), key=lambda p: (-p.count, p.length)
+        )
+
+    def most_frequent(self) -> Optional[PathPattern]:
+        patterns = self.patterns
+        return patterns[0] if patterns else None
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+
+def classify(cags: Sequence[CAG]) -> List[PathPattern]:
+    """Classify ``cags`` into patterns, most frequent first."""
+    classifier = PatternClassifier()
+    classifier.add_all(cags)
+    return classifier.patterns
+
+
+def dominant_pattern(cags: Sequence[CAG]) -> Optional[PathPattern]:
+    """The most frequent pattern of a CAG collection (ViewItem analogue)."""
+    classifier = PatternClassifier()
+    classifier.add_all(cags)
+    return classifier.most_frequent()

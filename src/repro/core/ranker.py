@@ -1,0 +1,488 @@
+"""The ranker: candidate selection for CAG construction (Section 4.1).
+
+The ranker merges the per-node activity streams into one stream of
+*candidates* that the engine consumes.  It never relies on synchronised
+clocks: activities are kept in per-node queues ordered by each node's own
+local clock, and a sliding time window (whose size may be any positive
+value) bounds how much of each stream is buffered at once.
+
+Candidate selection follows the paper's two rules:
+
+* **Rule 1** -- if the head of some queue is a RECEIVE whose matching SEND
+  has already been delivered to the engine (i.e. it sits in the engine's
+  ``mmap``), that RECEIVE is the candidate.
+* **Rule 2** -- otherwise the head with the lowest type priority
+  (``BEGIN < SEND < END < RECEIVE < MAX``) is the candidate, which
+  guarantees that a SEND is always delivered before the RECEIVE it pairs
+  with.
+
+Two disturbances are tolerated (Section 4.3):
+
+* **noise activities** -- RECEIVEs for which no matching SEND exists either
+  in the ``mmap`` or anywhere in the ranker buffer are discarded
+  (``is_noise``); attribute-based filtering happens earlier, in
+  :class:`repro.core.log_format.ActivityClassifier`.
+* **concurrency disturbance** -- on multi-processor nodes two queues can
+  both be headed by RECEIVEs that block each other's matching SENDs; the
+  ranker resolves this by moving the blocking SEND in front of its queue
+  (the generalisation of the head-swap of Fig. 6).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .activity import Activity, ActivityType, sort_key
+from .index_maps import MessageMap
+
+
+@dataclass
+class RankerStats:
+    """Counters exposed for evaluation and debugging."""
+
+    delivered: int = 0
+    noise_discarded: int = 0
+    rule1_selections: int = 0
+    rule2_selections: int = 0
+    head_swaps: int = 0
+    window_refills: int = 0
+    max_buffered: int = 0
+
+
+class ActivitySource:
+    """A per-node stream of activities sorted by the node's local clock."""
+
+    def __init__(self, node: str, activities: Sequence[Activity]) -> None:
+        self.node = node
+        self._activities: List[Activity] = sorted(activities, key=sort_key)
+        self._position = 0
+        # Message keys of send-like activities not yet fetched, kept as a
+        # counter so the noise test stays O(1) per source instead of
+        # rescanning the remaining stream for every RECEIVE head.
+        self._future_send_keys: Counter = Counter(
+            activity.message_key
+            for activity in self._activities
+            if activity.type.is_send_like
+        )
+
+    def __len__(self) -> int:
+        return len(self._activities) - self._position
+
+    @property
+    def exhausted(self) -> bool:
+        return self._position >= len(self._activities)
+
+    def peek_timestamp(self) -> Optional[float]:
+        if self.exhausted:
+            return None
+        return self._activities[self._position].timestamp
+
+    def take_until(self, limit: float) -> List[Activity]:
+        """Pop and return every remaining activity with timestamp <= limit."""
+        taken: List[Activity] = []
+        while not self.exhausted and self._activities[self._position].timestamp <= limit:
+            taken.append(self._activities[self._position])
+            self._position += 1
+        for activity in taken:
+            self._note_fetched(activity)
+        return taken
+
+    def take_one(self) -> Optional[Activity]:
+        """Pop a single activity regardless of the window (used to make
+        progress when the window is smaller than the inter-activity gap)."""
+        if self.exhausted:
+            return None
+        activity = self._activities[self._position]
+        self._position += 1
+        self._note_fetched(activity)
+        return activity
+
+    def has_future_send(self, key: Tuple[str, int, str, int]) -> bool:
+        """Is a send-like activity with ``key`` still awaiting fetch?"""
+        return self._future_send_keys.get(key, 0) > 0
+
+    def take_through_send(self, key: Tuple[str, int, str, int]) -> List[Activity]:
+        """Pop activities up to and including the next send-like one with ``key``.
+
+        Used to resolve the case where a RECEIVE surfaced at a queue head
+        while, because of clock skew larger than the window, its matching
+        SEND has not even been fetched from its node's stream yet.  All
+        immediately-following parts of the same segmented send are pulled
+        along with it, so the byte balance can complete without waiting for
+        the window to catch up.
+        """
+        taken: List[Activity] = []
+        if not self.has_future_send(key):
+            return taken
+        while not self.exhausted:
+            activity = self.take_one()
+            if activity is None:
+                break
+            taken.append(activity)
+            if activity.type.is_send_like and activity.message_key == key:
+                # pull the remaining consecutive parts of this send, if any
+                while not self.exhausted:
+                    following = self._activities[self._position]
+                    if not (following.type.is_send_like and following.message_key == key):
+                        break
+                    taken.append(self.take_one())
+                break
+        return taken
+
+    def _note_fetched(self, activity: Activity) -> None:
+        if activity.type.is_send_like:
+            count = self._future_send_keys.get(activity.message_key, 0)
+            if count <= 1:
+                self._future_send_keys.pop(activity.message_key, None)
+            else:
+                self._future_send_keys[activity.message_key] = count - 1
+
+
+class Ranker:
+    """Merge per-node streams into a single candidate stream.
+
+    Parameters
+    ----------
+    sources:
+        Mapping from node name to the node's activity list (any order; the
+        ranker sorts by local timestamp, which is the paper's step 1).
+    mmap:
+        The engine's message map, consulted by Rule 1 and ``is_noise``.
+    window:
+        Size of the sliding time window in seconds.  Any positive value is
+        legal; larger windows buffer more activities (more memory, more
+        work per step) but the output is identical -- a property the
+        evaluation (Fig. 10/11) explores.
+    """
+
+    def __init__(
+        self,
+        sources: Dict[str, Sequence[Activity]],
+        mmap: MessageMap,
+        window: float = 0.010,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("the sliding time window must be positive")
+        self._window = window
+        self._mmap = mmap
+        self._sources: Dict[str, ActivitySource] = {
+            node: ActivitySource(node, activities)
+            for node, activities in sources.items()
+        }
+        self._queues: Dict[str, Deque[Activity]] = {
+            node: deque() for node in self._sources
+        }
+        # Counter of send-like message keys currently sitting in the
+        # queues, so the noise test does not rescan every queue.
+        self._buffered_send_keys: Counter = Counter()
+        self.stats = RankerStats()
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def window(self) -> float:
+        return self._window
+
+    def buffered_count(self) -> int:
+        """Number of activities currently buffered in the ranker queues."""
+        return sum(len(queue) for queue in self._queues.values())
+
+    def buffered_activities(self) -> Iterable[Activity]:
+        for queue in self._queues.values():
+            yield from queue
+
+    def exhausted(self) -> bool:
+        """True once every source and every queue is empty."""
+        return self.buffered_count() == 0 and all(
+            source.exhausted for source in self._sources.values()
+        )
+
+    def rank(self) -> Optional[Activity]:
+        """Return the next candidate activity, or ``None`` when done.
+
+        This is the ``ranker.rank()`` of the correlation pseudo-code.  The
+        selection differs from the paper's Rule 2 in one respect needed to
+        honour the claim that the window size is independent of clock
+        skew: a head RECEIVE whose matching SEND exists but has not been
+        delivered yet (it is buffered behind another head, or not even
+        fetched because its node's clock runs far ahead) is never selected.
+        Instead the ranker either selects another head, pulls the sender's
+        stream forward, or -- in the true concurrency-disturbance case of
+        Fig. 6 -- promotes the blocking SEND within its queue, which is the
+        paper's head swap generalised to arbitrary queue positions.
+        """
+        while True:
+            self._refill()
+            heads = self._heads()
+            if not heads:
+                if self.exhausted():
+                    return None
+                # Window too small to admit any activity: force progress by
+                # admitting the globally earliest unfetched activity.
+                self._force_fetch_one()
+                continue
+
+            candidate = self._select_rule1(heads)
+            if candidate is not None:
+                self.stats.rule1_selections += 1
+                return self._deliver(candidate)
+
+            discarded = self._discard_noise(heads)
+            if discarded:
+                continue
+
+            eligible = [
+                (node, head)
+                for node, head in heads
+                if not self._is_blocked_receive(head)
+            ]
+            if eligible:
+                choice = self._select_rule2(eligible)
+                self.stats.rule2_selections += 1
+                return self._deliver(choice)
+
+            # Every head is a RECEIVE blocked on an undelivered SEND:
+            # resolve the disturbance and try again.
+            if self._resolve_blockage(heads):
+                continue
+
+            # Could not make progress (should not happen with well-formed
+            # traces); fall back to plain Rule 2 so the ranker never stalls.
+            choice = self._select_rule2(heads)
+            self.stats.rule2_selections += 1
+            return self._deliver(choice)
+
+    # -- window management ----------------------------------------------------
+
+    def _refill(self) -> None:
+        """Fetch into the queues every activity within the sliding window.
+
+        The lower edge of the window is the minimal local timestamp among
+        the queue heads and the next unfetched activity of every source
+        (Section 4.1: after a candidate is popped "the ranker will update
+        the new minimal timestamp ... and fetch new qualified activities").
+        """
+        low = self._window_low()
+        if low is None:
+            return
+        limit = low + self._window
+        fetched = False
+        for node, source in self._sources.items():
+            taken = source.take_until(limit)
+            if taken:
+                fetched = True
+                self._queues[node].extend(taken)
+                for activity in taken:
+                    if activity.type.is_send_like:
+                        self._buffered_send_keys[activity.message_key] += 1
+        if fetched:
+            self.stats.window_refills += 1
+            self.stats.max_buffered = max(self.stats.max_buffered, self.buffered_count())
+
+    def _window_low(self) -> Optional[float]:
+        candidates: List[float] = []
+        for node, queue in self._queues.items():
+            if queue:
+                candidates.append(queue[0].timestamp)
+            else:
+                ts = self._sources[node].peek_timestamp()
+                if ts is not None:
+                    candidates.append(ts)
+        if not candidates:
+            return None
+        return min(candidates)
+
+    def _force_fetch_one(self) -> None:
+        """Admit the earliest unfetched activity when the window admits none."""
+        best_node: Optional[str] = None
+        best_ts: Optional[float] = None
+        for node, source in self._sources.items():
+            ts = source.peek_timestamp()
+            if ts is None:
+                continue
+            if best_ts is None or ts < best_ts:
+                best_ts = ts
+                best_node = node
+        if best_node is None:
+            return
+        activity = self._sources[best_node].take_one()
+        if activity is not None:
+            self._queues[best_node].append(activity)
+            if activity.type.is_send_like:
+                self._buffered_send_keys[activity.message_key] += 1
+            self.stats.max_buffered = max(self.stats.max_buffered, self.buffered_count())
+
+    # -- candidate selection ----------------------------------------------------
+
+    def _heads(self) -> List[Tuple[str, Activity]]:
+        return [(node, queue[0]) for node, queue in self._queues.items() if queue]
+
+    def _select_rule1(
+        self, heads: Sequence[Tuple[str, Activity]]
+    ) -> Optional[Tuple[str, Activity]]:
+        """Rule 1: a head RECEIVE whose SEND already sits in the mmap."""
+        best: Optional[Tuple[str, Activity]] = None
+        for node, head in heads:
+            if head.type is not ActivityType.RECEIVE:
+                continue
+            if self._mmap.has_match(head.message_key):
+                if best is None or head.timestamp < best[1].timestamp:
+                    best = (node, head)
+        return best
+
+    def _select_rule2(
+        self, heads: Sequence[Tuple[str, Activity]]
+    ) -> Tuple[str, Activity]:
+        """Rule 2: the head with the lowest type priority.
+
+        Ties are broken by the local timestamp so the output is
+        deterministic; with correct priorities the result does not depend
+        on how ties break (any order of causally-unrelated activities is
+        acceptable to the engine).
+        """
+        return min(heads, key=lambda item: (item[1].priority, item[1].timestamp, item[1].seq))
+
+    def _deliver(self, chosen: Tuple[str, Activity]) -> Activity:
+        node, activity = chosen
+        queue = self._queues[node]
+        if queue and queue[0] is activity:
+            queue.popleft()
+        else:  # the activity was rotated to the front by the swap logic
+            queue.remove(activity)
+        self._note_dequeued(activity)
+        self.stats.delivered += 1
+        return activity
+
+    def _note_dequeued(self, activity: Activity) -> None:
+        if activity.type.is_send_like:
+            count = self._buffered_send_keys.get(activity.message_key, 0)
+            if count <= 1:
+                self._buffered_send_keys.pop(activity.message_key, None)
+            else:
+                self._buffered_send_keys[activity.message_key] = count - 1
+
+    # -- noise handling -----------------------------------------------------------
+
+    def is_noise(self, activity: Activity) -> bool:
+        """The ``is_noise`` predicate of Fig. 5.
+
+        A RECEIVE is noise when no matching SEND exists either in the
+        engine's mmap or anywhere in the ranker buffer.  BEGIN activities
+        are never noise: their senders (external clients) are outside the
+        traced perimeter by definition.
+        """
+        if activity.type is not ActivityType.RECEIVE:
+            return False
+        if self._mmap.has_match(activity.message_key):
+            return False
+        return not self._buffer_has_matching_send(activity)
+
+    def _buffer_has_matching_send(self, receive: Activity) -> bool:
+        key = receive.message_key
+        if self._buffered_send_keys.get(key, 0) > 0:
+            return True
+        # A matching SEND may also still be outside the window on its own
+        # node; consult each source's future-send index so that a small
+        # window does not misclassify legitimate traffic as noise.
+        for source in self._sources.values():
+            if source.has_future_send(key):
+                return True
+        return False
+
+    def _discard_noise(self, heads: Sequence[Tuple[str, Activity]]) -> bool:
+        """Drop every head that is noise.  Returns True if anything was
+        discarded (the caller then restarts selection)."""
+        discarded = False
+        for node, head in heads:
+            if head.type is ActivityType.RECEIVE and self.is_noise(head):
+                self._queues[node].popleft()
+                self.stats.noise_discarded += 1
+                discarded = True
+        return discarded
+
+    # -- concurrency disturbance -----------------------------------------------------
+
+    def _is_blocked_receive(self, activity: Activity) -> bool:
+        """A RECEIVE selected by Rule 2 whose matching SEND exists but has
+        not been delivered to the engine yet (it is still buffered, or not
+        even fetched because the sender's clock runs ahead of the window)
+        is *blocked*: delivering it now would fail to correlate."""
+        if activity.type is not ActivityType.RECEIVE:
+            return False
+        if self._mmap.has_match(activity.message_key):
+            return False
+        if self._find_buffered_send(activity) is not None:
+            return True
+        return any(
+            source.has_future_send(activity.message_key)
+            for source in self._sources.values()
+        )
+
+    def _find_buffered_send(self, receive: Activity) -> Optional[Tuple[str, Activity]]:
+        key = receive.message_key
+        for node, queue in self._queues.items():
+            for other in queue:
+                if other.type.is_send_like and other.message_key == key:
+                    return (node, other)
+        return None
+
+    def _resolve_blockage(self, heads: Sequence[Tuple[str, Activity]]) -> bool:
+        """Make progress when every queue head is a blocked RECEIVE.
+
+        Two mechanisms, tried in order for each blocked head:
+
+        1. If the matching SEND has not been fetched yet (the sender's
+           clock runs ahead of the window), pull the sender's stream
+           forward up to and including that SEND.  The SEND's own causal
+           predecessors are pulled with it and keep their relative order,
+           so per-context ordering is preserved.
+        2. If the matching SEND is already buffered behind another head
+           (the Fig. 6 concurrency disturbance), promote it to the front
+           of its queue -- but only when no activity ahead of it belongs
+           to the same execution entity, because reordering within one
+           context would fabricate a wrong adjacent-context relation.
+
+        Returns True when any queue changed, so the caller re-runs
+        candidate selection.
+        """
+        for _node, head in heads:
+            key = head.message_key
+            for source_node, source in self._sources.items():
+                if not source.has_future_send(key):
+                    continue
+                taken = source.take_through_send(key)
+                if not taken:
+                    continue
+                self._queues[source_node].extend(taken)
+                for activity in taken:
+                    if activity.type.is_send_like:
+                        self._buffered_send_keys[activity.message_key] += 1
+                self.stats.max_buffered = max(
+                    self.stats.max_buffered, self.buffered_count()
+                )
+                return True
+
+        for _node, head in heads:
+            found = self._find_buffered_send(head)
+            if found is None:
+                continue
+            queue_node, send = found
+            queue = self._queues[queue_node]
+            if queue[0] is send:
+                continue
+            ahead_same_context = False
+            for other in queue:
+                if other is send:
+                    break
+                if other.context_key == send.context_key:
+                    ahead_same_context = True
+                    break
+            if ahead_same_context:
+                continue
+            queue.remove(send)
+            queue.appendleft(send)
+            self.stats.head_swaps += 1
+            return True
+        return False

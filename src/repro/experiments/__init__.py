@@ -1,0 +1,53 @@
+"""Experiment harness: per-figure generators, scales and report rendering."""
+
+from .config import FULL, SCALES, SMALL, ExperimentScale, default_scale
+from .figures import (
+    ALL_FIGURES,
+    FAULT_SCENARIOS,
+    FigureResult,
+    accuracy_table,
+    baseline_comparison,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    figure17,
+    figure17_diagnosis,
+)
+from .report import render_report, render_table, write_report
+from .runner import SHARED_CACHE, RunCache, get_run
+
+__all__ = [
+    "ALL_FIGURES",
+    "FAULT_SCENARIOS",
+    "FULL",
+    "FigureResult",
+    "ExperimentScale",
+    "RunCache",
+    "SCALES",
+    "SHARED_CACHE",
+    "SMALL",
+    "accuracy_table",
+    "baseline_comparison",
+    "default_scale",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "figure16",
+    "figure17",
+    "figure17_diagnosis",
+    "get_run",
+    "render_report",
+    "render_table",
+    "write_report",
+]

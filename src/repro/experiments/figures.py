@@ -1,0 +1,545 @@
+"""Per-figure data generators for the paper's evaluation (Section 5).
+
+Each function regenerates the data behind one table or figure of the
+paper: it runs the required simulated experiments (memoised through
+:mod:`repro.experiments.runner`), traces them with PreciseTracer and
+returns a :class:`FigureResult` holding the same rows/series the paper
+plots.  Absolute values differ from the 2009 testbed; the *shape* (who
+wins, where the knees are, which latency share grows) is the reproduction
+target, and EXPERIMENTS.md records the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines.project5 import nesting_algorithm
+from ..baselines.wap5 import Wap5Tracer
+from ..core.debugging import LatencyProfile, diagnose
+from ..services.faults import FaultConfig
+from ..services.noise import NoiseConfig
+from ..services.rubis.deployment import RubisConfig, RubisRunResult
+from .config import ExperimentScale, default_scale
+from .runner import RunCache, get_run
+
+
+@dataclass
+class FigureResult:
+    """The regenerated data of one table or figure."""
+
+    figure_id: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    def column(self, name: str) -> List[object]:
+        """One column as a list (handy for assertions in tests/benches)."""
+        return [row.get(name) for row in self.rows]
+
+    def series(self, key_column: str, value_column: str) -> Dict[object, object]:
+        return {row[key_column]: row[value_column] for row in self.rows}
+
+
+def _base_config(scale: ExperimentScale, **overrides) -> RubisConfig:
+    config = RubisConfig(
+        stages=scale.stages,
+        clock_skew=scale.clock_skew,
+        seed=scale.seed,
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+# ---------------------------------------------------------------------------
+# Section 5.2 -- accuracy
+# ---------------------------------------------------------------------------
+
+def accuracy_table(
+    scale: Optional[ExperimentScale] = None, cache: Optional[RunCache] = None
+) -> FigureResult:
+    """Path accuracy across workloads, client counts, windows, skews and noise.
+
+    The paper reports 100 % accuracy (no false positives, no false
+    negatives) for every combination it tried; this table re-checks the
+    same claim on the simulated testbed.
+    """
+    scale = scale or default_scale()
+    result = FigureResult(
+        figure_id="sec5.2",
+        title="Path accuracy of PreciseTracer (paper: 100% everywhere)",
+        columns=[
+            "workload",
+            "clients",
+            "window_s",
+            "clock_skew_s",
+            "noise",
+            "requests",
+            "accuracy",
+            "false_positives",
+            "false_negatives",
+        ],
+    )
+    for workload in scale.accuracy_workloads:
+        for clients in scale.accuracy_clients:
+            for skew in scale.accuracy_skews:
+                for noisy in (False, True):
+                    noise = NoiseConfig.paper_noise(scale=0.3) if noisy else NoiseConfig.quiet()
+                    config = _base_config(
+                        scale,
+                        workload=workload,
+                        clients=clients,
+                        clock_skew=skew,
+                        noise=noise,
+                    )
+                    run = get_run(config, cache)
+                    for window in scale.accuracy_windows:
+                        trace = run.trace(window=window)
+                        report = trace.accuracy(run.ground_truth)
+                        result.rows.append(
+                            {
+                                "workload": workload,
+                                "clients": clients,
+                                "window_s": window,
+                                "clock_skew_s": skew,
+                                "noise": noisy,
+                                "requests": report.total_requests,
+                                "accuracy": report.accuracy,
+                                "false_positives": report.false_positives,
+                                "false_negatives": report.false_negatives,
+                            }
+                        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 / Fig. 9 -- requests vs clients, correlation time vs requests
+# ---------------------------------------------------------------------------
+
+def figure8(
+    scale: Optional[ExperimentScale] = None, cache: Optional[RunCache] = None
+) -> FigureResult:
+    """Fig. 8: serviced requests vs. concurrent clients (Browse_Only).
+
+    Linear growth until the service saturates (the paper's knee is around
+    800 clients with ``MaxThreads = 40``)."""
+    scale = scale or default_scale()
+    result = FigureResult(
+        figure_id="fig8",
+        title="Requests vs. concurrent clients (Browse_Only, MaxThreads=40)",
+        columns=["clients", "requests", "throughput_rps"],
+    )
+    for clients in scale.client_series:
+        run = get_run(_base_config(scale, clients=clients), cache)
+        result.rows.append(
+            {
+                "clients": clients,
+                "requests": run.completed_requests,
+                "throughput_rps": round(run.throughput, 2),
+            }
+        )
+    return result
+
+
+def figure9(
+    scale: Optional[ExperimentScale] = None, cache: Optional[RunCache] = None
+) -> FigureResult:
+    """Fig. 9: correlation time vs. number of serviced requests.
+
+    The paper observes linear scaling (window fixed at 10 ms)."""
+    scale = scale or default_scale()
+    result = FigureResult(
+        figure_id="fig9",
+        title="Correlation time vs. requests (window = 10 ms)",
+        columns=["clients", "requests", "activities", "correlation_time_s"],
+    )
+    for clients in scale.client_series:
+        run = get_run(_base_config(scale, clients=clients), cache)
+        trace = run.trace(window=0.010)
+        result.rows.append(
+            {
+                "clients": clients,
+                "requests": trace.request_count,
+                "activities": run.total_activities,
+                "correlation_time_s": round(trace.correlation_time, 4),
+            }
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 / Fig. 11 -- sliding-window sweeps
+# ---------------------------------------------------------------------------
+
+def figure10(
+    scale: Optional[ExperimentScale] = None, cache: Optional[RunCache] = None
+) -> FigureResult:
+    """Fig. 10: correlation time vs. sliding-window size per client count."""
+    scale = scale or default_scale()
+    result = FigureResult(
+        figure_id="fig10",
+        title="Correlation time vs. sliding time window",
+        columns=["clients", "window_s", "correlation_time_s"],
+    )
+    for clients in scale.window_clients:
+        run = get_run(_base_config(scale, clients=clients), cache)
+        for window in scale.windows:
+            trace = run.trace(window=window)
+            result.rows.append(
+                {
+                    "clients": clients,
+                    "window_s": window,
+                    "correlation_time_s": round(trace.correlation_time, 4),
+                }
+            )
+    return result
+
+
+def figure11(
+    scale: Optional[ExperimentScale] = None, cache: Optional[RunCache] = None
+) -> FigureResult:
+    """Fig. 11: Correlator memory consumption vs. sliding-window size."""
+    scale = scale or default_scale()
+    result = FigureResult(
+        figure_id="fig11",
+        title="Correlator memory vs. sliding time window",
+        columns=["clients", "window_s", "peak_memory_mb", "peak_buffered_activities"],
+    )
+    for clients in scale.window_clients:
+        run = get_run(_base_config(scale, clients=clients), cache)
+        for window in scale.windows:
+            trace = run.trace(window=window)
+            result.rows.append(
+                {
+                    "clients": clients,
+                    "window_s": window,
+                    "peak_memory_mb": round(trace.peak_memory_bytes / 1e6, 3),
+                    "peak_buffered_activities": trace.correlation.peak_buffered_activities,
+                }
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 / Fig. 13 -- instrumentation overhead
+# ---------------------------------------------------------------------------
+
+def _overhead_rows(
+    scale: ExperimentScale, cache: Optional[RunCache]
+) -> List[Dict[str, object]]:
+    rows = []
+    for clients in scale.client_series:
+        enabled = get_run(_base_config(scale, clients=clients, tracing_enabled=True), cache)
+        disabled = get_run(_base_config(scale, clients=clients, tracing_enabled=False), cache)
+        rows.append(
+            {
+                "clients": clients,
+                "throughput_disabled_rps": round(disabled.throughput, 2),
+                "throughput_enabled_rps": round(enabled.throughput, 2),
+                "response_time_disabled_ms": round(disabled.mean_response_time * 1000, 2),
+                "response_time_enabled_ms": round(enabled.mean_response_time * 1000, 2),
+            }
+        )
+    return rows
+
+
+def figure12(
+    scale: Optional[ExperimentScale] = None, cache: Optional[RunCache] = None
+) -> FigureResult:
+    """Fig. 12: throughput with tracing enabled vs. disabled.
+
+    The paper reports a maximum throughput degradation of 3.7 %."""
+    scale = scale or default_scale()
+    rows = _overhead_rows(scale, cache)
+    result = FigureResult(
+        figure_id="fig12",
+        title="Effect of tracing on throughput",
+        columns=["clients", "throughput_disabled_rps", "throughput_enabled_rps", "overhead_pct"],
+    )
+    for row in rows:
+        disabled = float(row["throughput_disabled_rps"]) or 1e-9
+        overhead = 100.0 * (disabled - float(row["throughput_enabled_rps"])) / disabled
+        result.rows.append(
+            {
+                "clients": row["clients"],
+                "throughput_disabled_rps": row["throughput_disabled_rps"],
+                "throughput_enabled_rps": row["throughput_enabled_rps"],
+                "overhead_pct": round(overhead, 2),
+            }
+        )
+    return result
+
+
+def figure13(
+    scale: Optional[ExperimentScale] = None, cache: Optional[RunCache] = None
+) -> FigureResult:
+    """Fig. 13: average response time with tracing enabled vs. disabled.
+
+    The paper reports a maximum response-time increase below 30 %."""
+    scale = scale or default_scale()
+    rows = _overhead_rows(scale, cache)
+    result = FigureResult(
+        figure_id="fig13",
+        title="Effect of tracing on average response time",
+        columns=[
+            "clients",
+            "response_time_disabled_ms",
+            "response_time_enabled_ms",
+            "overhead_pct",
+        ],
+    )
+    for row in rows:
+        disabled = float(row["response_time_disabled_ms"]) or 1e-9
+        overhead = 100.0 * (float(row["response_time_enabled_ms"]) - disabled) / disabled
+        result.rows.append(
+            {
+                "clients": row["clients"],
+                "response_time_disabled_ms": row["response_time_disabled_ms"],
+                "response_time_enabled_ms": row["response_time_enabled_ms"],
+                "overhead_pct": round(overhead, 2),
+            }
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 -- noise tolerance
+# ---------------------------------------------------------------------------
+
+def figure14(
+    scale: Optional[ExperimentScale] = None, cache: Optional[RunCache] = None
+) -> FigureResult:
+    """Fig. 14: correlation time with and without coexisting noise traffic.
+
+    Noise from ssh/rlogin is filtered by program name; mysql-client noise
+    is discarded by ``is_noise``.  Accuracy stays at 100 % and the extra
+    correlation time stays moderate."""
+    scale = scale or default_scale()
+    result = FigureResult(
+        figure_id="fig14",
+        title="Correlation time with and without noise (window = 2 ms)",
+        columns=[
+            "clients",
+            "correlation_time_no_noise_s",
+            "correlation_time_noise_s",
+            "noise_activities",
+            "accuracy_with_noise",
+        ],
+    )
+    for clients in scale.noise_clients:
+        quiet = get_run(_base_config(scale, clients=clients), cache)
+        noisy = get_run(
+            _base_config(scale, clients=clients, noise=NoiseConfig.paper_noise()), cache
+        )
+        quiet_trace = quiet.trace(window=scale.noise_window)
+        noisy_trace = noisy.trace(window=scale.noise_window)
+        accuracy = noisy_trace.accuracy(noisy.ground_truth).accuracy
+        result.rows.append(
+            {
+                "clients": clients,
+                "correlation_time_no_noise_s": round(quiet_trace.correlation_time, 4),
+                "correlation_time_noise_s": round(noisy_trace.correlation_time, 4),
+                "noise_activities": noisy.noise_activities,
+                "accuracy_with_noise": round(accuracy, 4),
+            }
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 15 / Fig. 16 -- the MaxThreads misconfiguration
+# ---------------------------------------------------------------------------
+
+def figure15(
+    scale: Optional[ExperimentScale] = None, cache: Optional[RunCache] = None
+) -> FigureResult:
+    """Fig. 15: latency percentages of the dominant pattern vs. client count.
+
+    With ``MaxThreads = 40`` the share of the httpd->java interaction grows
+    dramatically as the thread pool saturates (the paper's
+    misconfiguration-shooting example, based on ViewItem)."""
+    scale = scale or default_scale()
+    segments = [
+        "httpd2httpd",
+        "httpd2java",
+        "java2httpd",
+        "java2java",
+        "java2mysqld",
+        "mysqld2java",
+        "mysqld2mysqld",
+    ]
+    result = FigureResult(
+        figure_id="fig15",
+        title="Latency percentages of components (MaxThreads=40)",
+        columns=["clients"] + segments,
+    )
+    for clients in scale.fig15_clients:
+        run = get_run(_base_config(scale, clients=clients, max_threads=40), cache)
+        trace = run.trace(window=scale.window)
+        profile = trace.profile(f"clients={clients}")
+        percentages = profile.percentages
+        row: Dict[str, object] = {"clients": clients}
+        for segment in segments:
+            row[segment] = round(percentages.get(segment, 0.0), 1)
+        result.rows.append(row)
+    return result
+
+
+def figure16(
+    scale: Optional[ExperimentScale] = None, cache: Optional[RunCache] = None
+) -> FigureResult:
+    """Fig. 16: throughput and response time for MaxThreads 40 vs. 250.
+
+    Raising MaxThreads removes the thread-pool bottleneck; beyond ~900
+    clients a hardware/database limit becomes the new bottleneck."""
+    scale = scale or default_scale()
+    result = FigureResult(
+        figure_id="fig16",
+        title="Performance for different MaxThreads",
+        columns=["clients", "tp_mt40_rps", "tp_mt250_rps", "rt_mt40_ms", "rt_mt250_ms"],
+    )
+    for clients in scale.client_series:
+        run40 = get_run(_base_config(scale, clients=clients, max_threads=40), cache)
+        run250 = get_run(_base_config(scale, clients=clients, max_threads=250), cache)
+        result.rows.append(
+            {
+                "clients": clients,
+                "tp_mt40_rps": round(run40.throughput, 2),
+                "tp_mt250_rps": round(run250.throughput, 2),
+                "rt_mt40_ms": round(run40.mean_response_time * 1000, 2),
+                "rt_mt250_ms": round(run250.mean_response_time * 1000, 2),
+            }
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 17 -- injected performance problems
+# ---------------------------------------------------------------------------
+
+FAULT_SCENARIOS: Dict[str, FaultConfig] = {
+    "normal": FaultConfig.none(),
+    "EJB_Delay": FaultConfig.ejb_delay_case(),
+    "Database_Lock": FaultConfig.database_lock_case(),
+    "EJB_Network": FaultConfig.ejb_network_case(),
+}
+
+
+def figure17(
+    scale: Optional[ExperimentScale] = None, cache: Optional[RunCache] = None
+) -> FigureResult:
+    """Fig. 17: latency percentages for the normal case and three faults."""
+    scale = scale or default_scale()
+    segments = [
+        "httpd2httpd",
+        "httpd2java",
+        "java2httpd",
+        "java2java",
+        "java2mysqld",
+        "mysqld2java",
+        "mysqld2mysqld",
+    ]
+    result = FigureResult(
+        figure_id="fig17",
+        title="Latency percentages for injected performance problems",
+        columns=["scenario"] + segments + ["mean_response_time_ms"],
+    )
+    for name, faults in FAULT_SCENARIOS.items():
+        config = _base_config(
+            scale,
+            clients=scale.fault_clients,
+            workload="default",
+            faults=faults,
+        )
+        run = get_run(config, cache)
+        trace = run.trace(window=scale.window)
+        profile = trace.profile(name)
+        percentages = profile.percentages
+        row: Dict[str, object] = {"scenario": name}
+        for segment in segments:
+            row[segment] = round(percentages.get(segment, 0.0), 1)
+        row["mean_response_time_ms"] = round(run.mean_response_time * 1000, 1)
+        result.rows.append(row)
+    return result
+
+
+def figure17_diagnosis(
+    scale: Optional[ExperimentScale] = None,
+    cache: Optional[RunCache] = None,
+    threshold: float = 5.0,
+) -> Dict[str, List[str]]:
+    """Which components PreciseTracer implicates for each injected fault.
+
+    A companion to Fig. 17: runs the latency-percentage comparison through
+    :func:`repro.core.debugging.diagnose` and returns the suspected
+    components per scenario (the paper's conclusions are JBoss, MySQL and
+    the JBoss node's network respectively)."""
+    scale = scale or default_scale()
+    profiles: Dict[str, LatencyProfile] = {}
+    for name, faults in FAULT_SCENARIOS.items():
+        config = _base_config(
+            scale, clients=scale.fault_clients, workload="default", faults=faults
+        )
+        run = get_run(config, cache)
+        profiles[name] = run.trace(window=scale.window).profile(name)
+    reference = profiles["normal"]
+    suspects: Dict[str, List[str]] = {}
+    for name, profile in profiles.items():
+        if name == "normal":
+            continue
+        suspects[name] = diagnose(reference, profile, threshold=threshold).suspected_components()
+    return suspects
+
+
+# ---------------------------------------------------------------------------
+# Extra: probabilistic-baseline comparison
+# ---------------------------------------------------------------------------
+
+def baseline_comparison(
+    scale: Optional[ExperimentScale] = None, cache: Optional[RunCache] = None
+) -> FigureResult:
+    """PreciseTracer vs. WAP5-style and Project5-style baselines.
+
+    Not a figure of the paper, but a quantitative version of its Section 6
+    argument: probabilistic correlation loses precision as concurrency
+    rises, while PreciseTracer stays at 100 %."""
+    scale = scale or default_scale()
+    result = FigureResult(
+        figure_id="baselines",
+        title="Path accuracy: PreciseTracer vs. probabilistic baselines",
+        columns=["clients", "precisetracer", "wap5_style", "project5_style"],
+    )
+    wap5 = Wap5Tracer()
+    for clients in scale.baseline_clients:
+        run = get_run(_base_config(scale, clients=clients), cache)
+        activities = run.activities()
+        precise = run.trace(window=scale.window).accuracy(run.ground_truth).accuracy
+        wap5_accuracy = wap5.path_accuracy(activities, run.ground_truth)
+        nesting = nesting_algorithm(activities)
+        project5_accuracy = nesting.path_accuracy(run.ground_truth)
+        result.rows.append(
+            {
+                "clients": clients,
+                "precisetracer": round(precise, 4),
+                "wap5_style": round(wap5_accuracy, 4),
+                "project5_style": round(project5_accuracy, 4),
+            }
+        )
+    return result
+
+
+#: Every generator, keyed by figure id (used by the CLI and the docs).
+ALL_FIGURES = {
+    "sec5.2": accuracy_table,
+    "fig8": figure8,
+    "fig9": figure9,
+    "fig10": figure10,
+    "fig11": figure11,
+    "fig12": figure12,
+    "fig13": figure13,
+    "fig14": figure14,
+    "fig15": figure15,
+    "fig16": figure16,
+    "fig17": figure17,
+    "baselines": baseline_comparison,
+}

@@ -1,0 +1,59 @@
+"""Plain-text rendering of figure results.
+
+The paper's evaluation is a set of plots; in a terminal-only reproduction
+the same data is rendered as aligned ASCII tables, one per figure, plus a
+combined report used by ``python -m repro.cli report``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .figures import FigureResult
+
+
+def format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(result: FigureResult) -> str:
+    """Render one figure's rows as an aligned ASCII table."""
+    header = list(result.columns)
+    body: List[List[str]] = [
+        [format_value(row.get(column, "")) for column in header] for row in result.rows
+    ]
+    widths = [len(column) for column in header]
+    for line in body:
+        for index, cell in enumerate(line):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines = [
+        f"[{result.figure_id}] {result.title}",
+        render_line(header),
+        render_line(["-" * width for width in widths]),
+    ]
+    lines.extend(render_line(line) for line in body)
+    if result.notes:
+        lines.append(f"  note: {result.notes}")
+    return "\n".join(lines)
+
+
+def render_report(results: Iterable[FigureResult]) -> str:
+    """Render several figures into one report document."""
+    sections = [render_table(result) for result in results]
+    return "\n\n".join(sections) + "\n"
+
+
+def write_report(results: Iterable[FigureResult], path: str) -> str:
+    """Write the combined report to ``path`` and return the text."""
+    text = render_report(results)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text

@@ -1,0 +1,64 @@
+"""Shared run infrastructure for the figure generators.
+
+Several figures reuse the same simulated runs (e.g. Fig. 8 and Fig. 9 both
+need the Browse_Only client sweep, Fig. 10 and Fig. 11 both need the
+window-sweep runs).  :class:`RunCache` memoises completed runs keyed by
+their configuration so a full figure suite performs each distinct
+simulation exactly once per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..services.rubis.deployment import RubisConfig, RubisRunResult, run_rubis
+
+
+def config_key(config: RubisConfig) -> str:
+    """A stable identity for a run configuration.
+
+    ``RubisConfig`` is a tree of frozen/simple dataclasses, so its repr is
+    deterministic and complete; using it as the cache key avoids writing a
+    bespoke hash for every nested field.
+    """
+    return repr(config)
+
+
+@dataclass
+class RunCache:
+    """Memoises simulation runs by configuration."""
+
+    runs: Dict[str, RubisRunResult] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def get(self, config: RubisConfig) -> RubisRunResult:
+        key = config_key(config)
+        cached = self.runs.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = run_rubis(config)
+        self.runs[key] = result
+        return result
+
+    def clear(self) -> None:
+        self.runs.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+
+#: Cache shared by every figure generator in this process (benchmarks and
+#: the CLI both profit from reuse across figures).
+SHARED_CACHE = RunCache()
+
+
+def get_run(config: RubisConfig, cache: Optional[RunCache] = None) -> RubisRunResult:
+    """Fetch (or execute) the run for ``config`` using the shared cache."""
+    target = cache if cache is not None else SHARED_CACHE
+    return target.get(config)

@@ -1,0 +1,15 @@
+"""Simulated services: the RUBiS-like target application, fault injection
+and noise traffic generators."""
+
+from .faults import DatabaseLockFault, EjbDelayFault, EjbNetworkFault, FaultConfig
+from .noise import MysqlClientNoiseGenerator, NoiseConfig, SshNoiseGenerator
+
+__all__ = [
+    "DatabaseLockFault",
+    "EjbDelayFault",
+    "EjbNetworkFault",
+    "FaultConfig",
+    "MysqlClientNoiseGenerator",
+    "NoiseConfig",
+    "SshNoiseGenerator",
+]

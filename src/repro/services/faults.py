@@ -1,0 +1,105 @@
+"""Fault injection for the performance-debugging experiments (Section 5.4.2).
+
+Three performance problems are injected into the running service, matching
+the paper's abnormal cases:
+
+* **EJB_Delay** -- a random delay inside the second tier's business logic
+  (the paper modifies the RUBiS EJB code); the java2java latency share
+  should grow dramatically.
+* **Database_Lock** -- extra lock wait on queries touching the ``items``
+  table (the paper locks that table); mysqld-internal and java->mysqld
+  latency shares should grow.
+* **EJB_Network** -- the NIC of the application-server node degraded from
+  100 Mbps to 10 Mbps (plus extra latency); every interaction touching the
+  second tier grows while the second tier's internal share shrinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim.network import NetworkFabric
+from ..sim.randomness import RandomStreams
+
+
+@dataclass(frozen=True)
+class EjbDelayFault:
+    """Random delay injected into the application tier per request."""
+
+    mean_delay: float = 0.25
+    jitter: float = 0.5  # fractional spread around the mean
+
+    def sample(self, rng: RandomStreams) -> float:
+        low = self.mean_delay * (1.0 - self.jitter)
+        high = self.mean_delay * (1.0 + self.jitter)
+        return max(0.0, rng.uniform("fault.ejb_delay", low, high))
+
+
+@dataclass(frozen=True)
+class DatabaseLockFault:
+    """Extra lock wait for queries touching the items table."""
+
+    lock_wait: float = 0.100
+    jitter: float = 0.4
+
+    def sample(self, rng: RandomStreams) -> float:
+        low = self.lock_wait * (1.0 - self.jitter)
+        high = self.lock_wait * (1.0 + self.jitter)
+        return max(0.0, rng.uniform("fault.db_lock", low, high))
+
+
+@dataclass(frozen=True)
+class EjbNetworkFault:
+    """Degrade every link touching the application-server node."""
+
+    bandwidth_bytes_per_s: float = 10e6 / 8.0  # 10 Mbps
+    extra_latency: float = 0.003
+
+    def apply(self, fabric: NetworkFabric, hostname: str) -> None:
+        fabric.degrade_node(
+            hostname,
+            extra_latency=self.extra_latency,
+            bandwidth_bytes_per_s=self.bandwidth_bytes_per_s,
+        )
+
+
+@dataclass
+class FaultConfig:
+    """Which faults are active in a run.  All disabled by default."""
+
+    ejb_delay: Optional[EjbDelayFault] = None
+    database_lock: Optional[DatabaseLockFault] = None
+    ejb_network: Optional[EjbNetworkFault] = None
+
+    @classmethod
+    def none(cls) -> "FaultConfig":
+        return cls()
+
+    @classmethod
+    def ejb_delay_case(cls, mean_delay: float = 0.25) -> "FaultConfig":
+        """The paper's abnormal case 1."""
+        return cls(ejb_delay=EjbDelayFault(mean_delay=mean_delay))
+
+    @classmethod
+    def database_lock_case(cls, lock_wait: float = 0.100) -> "FaultConfig":
+        """The paper's abnormal case 2."""
+        return cls(database_lock=DatabaseLockFault(lock_wait=lock_wait))
+
+    @classmethod
+    def ejb_network_case(cls, bandwidth_mbps: float = 10.0) -> "FaultConfig":
+        """The paper's abnormal case 3."""
+        return cls(
+            ejb_network=EjbNetworkFault(bandwidth_bytes_per_s=bandwidth_mbps * 1e6 / 8.0)
+        )
+
+    def describe(self) -> str:
+        active = []
+        if self.ejb_delay is not None:
+            active.append(f"EJB_Delay(mean={self.ejb_delay.mean_delay * 1000:.0f}ms)")
+        if self.database_lock is not None:
+            active.append(f"Database_Lock(wait={self.database_lock.lock_wait * 1000:.0f}ms)")
+        if self.ejb_network is not None:
+            mbps = self.ejb_network.bandwidth_bytes_per_s * 8.0 / 1e6
+            active.append(f"EJB_Network({mbps:.0f}Mbps)")
+        return ", ".join(active) if active else "none"

@@ -1,0 +1,63 @@
+"""RUBiS-like three-tier service model (the paper's target application)."""
+
+from .appserver import AppServerTier
+from .client import ClientEmulator, ClientMetrics, CompletedRequest, WorkloadStages
+from .database import DatabaseTier
+from .deployment import (
+    APP_IP,
+    APP_PORT,
+    DB_IP,
+    DB_PORT,
+    RubisConfig,
+    RubisDeployment,
+    RubisRunResult,
+    WEB_IP,
+    WEB_PORT,
+    run_rubis,
+)
+from .groundtruth import GroundTruthRecorder, RubisRequest
+from .httpd import HttpdTier
+from .requests import (
+    BROWSE_ONLY_MIX,
+    CATALOG,
+    DEFAULT_MIX,
+    QuerySpec,
+    RequestType,
+    VIEW_ITEM,
+    WORKLOAD_MIXES,
+    expected_query_count,
+    expected_thread_holding_time,
+    mix_by_name,
+)
+
+__all__ = [
+    "APP_IP",
+    "APP_PORT",
+    "AppServerTier",
+    "BROWSE_ONLY_MIX",
+    "CATALOG",
+    "ClientEmulator",
+    "ClientMetrics",
+    "CompletedRequest",
+    "DB_IP",
+    "DB_PORT",
+    "DEFAULT_MIX",
+    "DatabaseTier",
+    "GroundTruthRecorder",
+    "HttpdTier",
+    "QuerySpec",
+    "RequestType",
+    "RubisConfig",
+    "RubisDeployment",
+    "RubisRequest",
+    "RubisRunResult",
+    "VIEW_ITEM",
+    "WEB_IP",
+    "WEB_PORT",
+    "WORKLOAD_MIXES",
+    "WorkloadStages",
+    "expected_query_count",
+    "expected_thread_holding_time",
+    "mix_by_name",
+    "run_rubis",
+]

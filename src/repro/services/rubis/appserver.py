@@ -1,0 +1,140 @@
+"""The application tier: a JBoss-like server with a bounded thread pool.
+
+One JVM process owns a pool of ``MaxThreads`` worker threads (the
+misconfigured parameter of Section 5.4.1).  A request arriving on one of
+the persistent connections from the web tier waits for a free pool thread;
+only when a thread picks it up does the kernel-level ``tcp_recvmsg``
+happen, so thread-pool queueing is visible to the tracer as
+``httpd2java`` interaction latency -- which is exactly how the paper's
+misconfiguration shows up.
+
+Each pool thread keeps a persistent connection to the database and issues
+the request type's queries synchronously, then writes the reply back to
+the web tier and returns to the pool (thread reuse across requests, the
+case guarded by Fig. 3 lines 29-32).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Generator, Optional
+
+from ...sim.kernel import Environment, Event, Resource
+from ...sim.network import Endpoint, Network
+from ...sim.node import ExecutionEntity, Node
+from ...sim.randomness import RandomStreams
+from ..faults import FaultConfig
+from .groundtruth import GroundTruthRecorder, RubisRequest
+from .requests import RequestType
+
+
+class AppServerTier:
+    """The middle tier of the emulated RUBiS deployment."""
+
+    PROGRAM = "java"
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        network: Network,
+        ground_truth: GroundTruthRecorder,
+        rng: RandomStreams,
+        db_ip: str,
+        db_port: int,
+        listen_port: int = 8080,
+        max_threads: int = 40,
+        faults: Optional[FaultConfig] = None,
+    ) -> None:
+        self.env = env
+        self.node = node
+        self.network = network
+        self.ground_truth = ground_truth
+        self.rng = rng
+        self.db_ip = db_ip
+        self.db_port = db_port
+        self.listen_port = listen_port
+        self.max_threads = max_threads
+        self.faults = faults or FaultConfig.none()
+        self.listener = network.listen(node, node.ip, listen_port)
+        self.process = node.new_process(self.PROGRAM)
+        self.thread_pool = Resource(env, max_threads)
+        self._idle_threads: Deque[ExecutionEntity] = deque(
+            node.new_thread(self.process) for _ in range(max_threads)
+        )
+        self._db_endpoints: Dict[ExecutionEntity, Endpoint] = {}
+        self.requests_served = 0
+        env.process(self._accept_loop())
+
+    # -- connection handling ------------------------------------------------
+
+    def _accept_loop(self) -> Generator[Event, None, None]:
+        while True:
+            endpoint = yield self.listener.accept()
+            self.env.process(self._serve_connection(endpoint))
+
+    def _serve_connection(self, endpoint: Endpoint) -> Generator[Event, None, None]:
+        """Handle the stream of requests on one persistent web-tier connection.
+
+        The web-tier worker on the other end is synchronous, so requests on
+        one connection are strictly sequential.
+        """
+        while True:
+            message = yield from endpoint.wait_data()
+            yield from self._handle_request(endpoint, message)
+
+    def _handle_request(self, endpoint: Endpoint, message) -> Generator[Event, None, None]:
+        request: Optional[RubisRequest] = message.payload
+        if request is None:
+            return
+        request_type: RequestType = request.request_type
+
+        # Wait for a free pool thread; with MaxThreads=40 under high load
+        # this wait dominates and surfaces as httpd2java latency.
+        grant = yield self.thread_pool.request()
+        thread = self._idle_threads.popleft()
+        try:
+            endpoint.read(thread, message)
+            self.ground_truth.note_context(request, thread)
+
+            business_cpu = self.rng.lognormal_like("app.business", request_type.app_cpu)
+            yield from self.node.compute(business_cpu + self.node.tracing_overhead(3))
+
+            if self.faults.ejb_delay is not None:
+                # Abnormal case 1: a random delay inside the EJB layer.
+                yield self.env.timeout(self.faults.ejb_delay.sample(self.rng))
+
+            db_endpoint = self._db_endpoint(thread)
+            for query in request_type.queries:
+                db_endpoint.send(thread, query.query_bytes, request.request_id, (request, query))
+                reply = yield from db_endpoint.recv(thread)
+                del reply
+                parse_cpu = self.rng.lognormal_like(
+                    "app.query_parse", request_type.app_per_query_cpu
+                )
+                yield from self.node.compute(parse_cpu + self.node.tracing_overhead(2))
+
+            render_cpu = self.rng.lognormal_like("app.render", request_type.app_reply_cpu)
+            yield from self.node.compute(render_cpu + self.node.tracing_overhead(1))
+
+            endpoint.send(thread, request_type.app_reply_bytes, request.request_id, request)
+            self.requests_served += 1
+        finally:
+            self._idle_threads.append(thread)
+            self.thread_pool.release(grant)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _db_endpoint(self, thread: ExecutionEntity) -> Endpoint:
+        """The pool thread's persistent connection to the database."""
+        endpoint = self._db_endpoints.get(thread)
+        if endpoint is None:
+            connection = self.network.connect(self.node, self.db_ip, self.db_port)
+            endpoint = connection.client
+            self._db_endpoints[thread] = endpoint
+        return endpoint
+
+    @property
+    def thread_queue_length(self) -> int:
+        """Requests currently waiting for a pool thread (diagnostics)."""
+        return self.thread_pool.queue_length

@@ -1,0 +1,117 @@
+"""The database tier: a MySQL-like server with per-connection threads.
+
+``mysqld`` runs as one process and creates a dedicated kernel thread per
+client connection -- the application tier's pool threads each hold one
+persistent connection, and so does the external noise client.  Query
+execution contends for a bounded set of *engine slots* (InnoDB-style
+concurrency tickets): waiting for a slot happens before the connection
+thread reads the query off the socket, so database congestion surfaces in
+the traces as ``java2mysqld`` interaction latency, while execution time
+itself is ``mysqld2mysqld`` component latency.
+
+The Database_Lock fault (abnormal case 2) adds lock wait to queries that
+touch the ``items`` table while they hold their engine slot, which both
+inflates mysqld-internal latency and backs up the queue in front of the
+engine -- the combined growth the paper observes.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Tuple
+
+from ...sim.kernel import Environment, Event, Resource
+from ...sim.network import Endpoint, Network
+from ...sim.node import ExecutionEntity, Node
+from ...sim.randomness import RandomStreams
+from ..faults import FaultConfig
+from .groundtruth import GroundTruthRecorder, RubisRequest
+from .requests import QuerySpec
+
+
+class DatabaseTier:
+    """The storage tier of the emulated RUBiS deployment."""
+
+    PROGRAM = "mysqld"
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        network: Network,
+        ground_truth: GroundTruthRecorder,
+        rng: RandomStreams,
+        listen_port: int = 3306,
+        engine_slots: int = 18,
+        faults: Optional[FaultConfig] = None,
+    ) -> None:
+        self.env = env
+        self.node = node
+        self.network = network
+        self.ground_truth = ground_truth
+        self.rng = rng
+        self.listen_port = listen_port
+        self.faults = faults or FaultConfig.none()
+        self.listener = network.listen(node, node.ip, listen_port)
+        self.process = node.new_process(self.PROGRAM)
+        self.engine = Resource(env, engine_slots)
+        self.queries_served = 0
+        self.noise_queries_served = 0
+        env.process(self._accept_loop())
+
+    # -- connection handling ------------------------------------------------
+
+    def _accept_loop(self) -> Generator[Event, None, None]:
+        while True:
+            endpoint = yield self.listener.accept()
+            self.env.process(self._serve_connection(endpoint))
+
+    def _serve_connection(self, endpoint: Endpoint) -> Generator[Event, None, None]:
+        """Dedicated per-connection thread: handle queries sequentially."""
+        thread = self.node.new_thread(self.process)
+        while True:
+            message = yield from endpoint.wait_data()
+            yield from self._handle_query(endpoint, thread, message)
+
+    def _handle_query(
+        self, endpoint: Endpoint, thread: ExecutionEntity, message
+    ) -> Generator[Event, None, None]:
+        payload: Tuple[Optional[RubisRequest], QuerySpec] = message.payload
+        request, query = payload
+
+        # Connection/protocol dispatch before the thread reads the query;
+        # seen by the tracer as part of the java -> mysqld interaction.
+        dispatch = self.rng.lognormal_like("db.dispatch", query.dispatch_delay)
+        if dispatch > 0:
+            yield self.env.timeout(dispatch)
+
+        # Wait for an engine slot (InnoDB concurrency ticket).  Congestion
+        # here also delays the read below, i.e. it is charged to the
+        # interaction, matching how a loaded database looks from outside.
+        grant = yield self.engine.request()
+        try:
+            endpoint.read(thread, message)
+            self.ground_truth.note_context(request, thread)
+
+            cpu = self.rng.lognormal_like("db.cpu", query.db_cpu)
+            yield from self.node.compute(cpu + self.node.tracing_overhead(2))
+
+            engine_delay = self.rng.lognormal_like("db.engine", query.engine_delay)
+            if (
+                self.faults.database_lock is not None
+                and query.touches_items
+                and request is not None
+            ):
+                # Abnormal case 2: the items table is locked; queries that
+                # touch it wait for the lock while holding their slot.
+                engine_delay += self.faults.database_lock.sample(self.rng)
+            if engine_delay > 0:
+                yield self.env.timeout(engine_delay)
+        finally:
+            self.engine.release(grant)
+
+        request_id = request.request_id if request is not None else None
+        endpoint.send(thread, query.reply_bytes, request_id, (request, query))
+        if request is None:
+            self.noise_queries_served += 1
+        else:
+            self.queries_served += 1

@@ -1,0 +1,125 @@
+"""The web tier: an Apache-httpd-like prefork worker pool.
+
+Each worker is a separate single-threaded process (the prefork MPM), which
+is what the kernel-level context identifier sees.  A worker handles one
+client request at a time: it reads the HTTP request (the BEGIN activity),
+proxies it to the application server over a per-worker persistent
+connection, waits for the reply and writes the response back to the client
+(the END activity) -- the synchronous proxy pattern assumption 2 of the
+paper relies on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Generator, Optional
+
+from ...sim.kernel import Environment, Event, Resource
+from ...sim.network import Endpoint, Network
+from ...sim.node import ExecutionEntity, Node
+from ...sim.randomness import RandomStreams
+from .groundtruth import GroundTruthRecorder, RubisRequest
+from .requests import RequestType
+
+
+class HttpdTier:
+    """The frontend tier of the emulated RUBiS deployment."""
+
+    PROGRAM = "httpd"
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        network: Network,
+        ground_truth: GroundTruthRecorder,
+        rng: RandomStreams,
+        app_ip: str,
+        app_port: int,
+        listen_port: int = 80,
+        workers: int = 256,
+    ) -> None:
+        self.env = env
+        self.node = node
+        self.network = network
+        self.ground_truth = ground_truth
+        self.rng = rng
+        self.app_ip = app_ip
+        self.app_port = app_port
+        self.listen_port = listen_port
+        self.listener = network.listen(node, node.ip, listen_port)
+        self.worker_pool = Resource(env, workers)
+        self._idle_workers: Deque[ExecutionEntity] = deque(
+            node.new_process(self.PROGRAM) for _ in range(workers)
+        )
+        self._app_endpoints: Dict[ExecutionEntity, Endpoint] = {}
+        self.requests_served = 0
+        env.process(self._accept_loop())
+
+    # -- connection handling ------------------------------------------------
+
+    def _accept_loop(self) -> Generator[Event, None, None]:
+        while True:
+            endpoint = yield self.listener.accept()
+            self.env.process(self._serve_connection(endpoint))
+
+    def _serve_connection(self, endpoint: Endpoint) -> Generator[Event, None, None]:
+        """Serve one client connection (one request per connection)."""
+        message = yield from endpoint.wait_data()
+        request: Optional[RubisRequest] = message.payload
+        if request is None:
+            return
+        grant = yield self.worker_pool.request()
+        worker = self._idle_workers.popleft()
+        try:
+            yield from self._handle_request(endpoint, worker, message, request)
+        finally:
+            self._idle_workers.append(worker)
+            self.worker_pool.release(grant)
+
+    def _handle_request(
+        self,
+        endpoint: Endpoint,
+        worker: ExecutionEntity,
+        message,
+        request: RubisRequest,
+    ) -> Generator[Event, None, None]:
+        request_type: RequestType = request.request_type
+
+        # The worker reads the request: the kernel logs the RECEIVE that the
+        # classifier will turn into the BEGIN of this causal path.
+        endpoint.read(worker, message)
+        self.ground_truth.note_context(request, worker)
+        self.ground_truth.note_start(request, self.node.local_time())
+
+        parse_cpu = self.rng.lognormal_like("httpd.parse", request_type.httpd_cpu)
+        yield from self.node.compute(parse_cpu + self.node.tracing_overhead(3))
+
+        # Proxy to the application server on this worker's persistent
+        # connection (mod_jk style).
+        app_endpoint = self._app_endpoint(worker)
+        app_endpoint.send(
+            worker, request_type.app_request_bytes, request.request_id, request
+        )
+        reply = yield from app_endpoint.recv(worker)
+        del reply
+
+        relay_cpu = self.rng.lognormal_like("httpd.relay", request_type.httpd_reply_cpu)
+        yield from self.node.compute(relay_cpu + self.node.tracing_overhead(3))
+
+        # Write the response back to the client: the END of the causal path.
+        endpoint.send(worker, request_type.reply_bytes, request.request_id, request)
+        self.ground_truth.note_end(request, self.node.local_time())
+        self.requests_served += 1
+
+    # -- internals ----------------------------------------------------------------
+
+    def _app_endpoint(self, worker: ExecutionEntity) -> Endpoint:
+        """The worker's persistent connection to the application server."""
+        endpoint = self._app_endpoints.get(worker)
+        if endpoint is None:
+            connection = self.network.connect(self.node, self.app_ip, self.app_port)
+            endpoint = connection.client
+            self._app_endpoints[worker] = endpoint
+        return endpoint

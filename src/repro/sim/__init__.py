@@ -1,0 +1,47 @@
+"""Discrete-event simulation substrate.
+
+This package replaces the paper's physical testbed: a small simulation
+kernel, simulated nodes with skewed clocks and finite CPUs, a TCP-like
+network with message segmentation, and the simulated TCP_TRACE probe that
+produces the activity logs the tracer consumes.
+"""
+
+from .clock import NodeClock, spread_skews
+from .kernel import Environment, Event, Grant, Process, Resource, SimulationError, Store
+from .network import (
+    Connection,
+    Endpoint,
+    Listener,
+    Network,
+    NetworkFabric,
+    NetworkMessage,
+    SegmentationPolicy,
+)
+from .node import ExecutionEntity, Node
+from .randomness import RandomStreams
+from .tcp_trace import DEFAULT_PROBE_OVERHEAD, TcpTraceProbe, TraceCollector
+
+__all__ = [
+    "Connection",
+    "DEFAULT_PROBE_OVERHEAD",
+    "Endpoint",
+    "Environment",
+    "Event",
+    "ExecutionEntity",
+    "Grant",
+    "Listener",
+    "Network",
+    "NetworkFabric",
+    "NetworkMessage",
+    "Node",
+    "NodeClock",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "SegmentationPolicy",
+    "SimulationError",
+    "Store",
+    "TcpTraceProbe",
+    "TraceCollector",
+    "spread_skews",
+]

@@ -1,0 +1,315 @@
+"""Simulated TCP connections, message segmentation and the network fabric.
+
+The network model is intentionally simple -- fixed per-hop latency plus a
+bandwidth term -- because the tracing algorithm only cares about *which*
+kernel send/receive calls happen in *which* context and in what causal
+order.  What the model does reproduce carefully is the aspect Section 4.2
+is built around: one logical message may be split into several
+``tcp_sendmsg`` calls at the sender and several ``tcp_recvmsg`` calls at
+the receiver, with independent boundaries (Fig. 4), and the receiver's
+calls happen only when the receiving worker thread actually reads the
+data (so thread-pool queueing shows up as interaction latency, which is
+what makes the MaxThreads misconfiguration of Section 5.4 visible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from .kernel import Environment, Event, Store
+from .node import ExecutionEntity, Node
+
+
+@dataclass(frozen=True)
+class SegmentationPolicy:
+    """How logical messages map onto kernel send/receive calls.
+
+    ``sender_max_bytes`` bounds the size of one ``tcp_sendmsg`` call,
+    ``receiver_max_bytes`` bounds one ``tcp_recvmsg`` call.  The two are
+    independent so sender and receiver part counts differ, exercising the
+    byte-count merging of the correlation engine.
+    """
+
+    sender_max_bytes: int = 8192
+    receiver_max_bytes: int = 6144
+
+    def split(self, size: int, max_bytes: int) -> List[int]:
+        if size <= 0:
+            return [0]
+        if max_bytes <= 0:
+            return [size]
+        parts: List[int] = []
+        remaining = size
+        while remaining > 0:
+            chunk = min(remaining, max_bytes)
+            parts.append(chunk)
+            remaining -= chunk
+        return parts
+
+    def sender_parts(self, size: int) -> List[int]:
+        return self.split(size, self.sender_max_bytes)
+
+    def receiver_parts(self, size: int) -> List[int]:
+        return self.split(size, self.receiver_max_bytes)
+
+
+@dataclass
+class NetworkMessage:
+    """One logical message in flight or sitting in a socket buffer."""
+
+    size: int
+    request_id: Optional[int] = None
+    payload: Any = None
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+
+
+class NetworkFabric:
+    """Latency/bandwidth model of the cluster interconnect.
+
+    Per-node overrides allow degrading a single machine's NIC, which is
+    how the EJB_Network fault of Section 5.4.2 (100 Mbps -> 10 Mbps on the
+    JBoss node) is injected.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        base_latency: float = 200e-6,
+        bandwidth_bytes_per_s: float = 100e6 / 8.0,
+    ) -> None:
+        self.env = env
+        self.base_latency = base_latency
+        self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
+        self._node_extra_latency: Dict[str, float] = {}
+        self._node_bandwidth: Dict[str, float] = {}
+
+    def degrade_node(
+        self,
+        hostname: str,
+        extra_latency: float = 0.0,
+        bandwidth_bytes_per_s: Optional[float] = None,
+    ) -> None:
+        """Degrade every link touching ``hostname`` (slow NIC, bad cable)."""
+        if extra_latency:
+            self._node_extra_latency[hostname] = extra_latency
+        if bandwidth_bytes_per_s is not None:
+            self._node_bandwidth[hostname] = bandwidth_bytes_per_s
+
+    def transfer_delay(self, src: Node, dst: Node, size: int) -> float:
+        """End-to-end delay of ``size`` bytes from ``src`` to ``dst``."""
+        if src is dst:
+            return 5e-6  # loopback
+        latency = (
+            self.base_latency
+            + self._node_extra_latency.get(src.hostname, 0.0)
+            + self._node_extra_latency.get(dst.hostname, 0.0)
+        )
+        bandwidth = min(
+            self._node_bandwidth.get(src.hostname, self.bandwidth_bytes_per_s),
+            self._node_bandwidth.get(dst.hostname, self.bandwidth_bytes_per_s),
+        )
+        return latency + size / bandwidth
+
+
+class Endpoint:
+    """One side of a TCP connection."""
+
+    def __init__(
+        self,
+        connection: "Connection",
+        node: Node,
+        ip: str,
+        port: int,
+    ) -> None:
+        self.connection = connection
+        self.node = node
+        self.ip = ip
+        self.port = port
+        self.inbox: Store = Store(connection.env)
+        self.peer: "Endpoint" = None  # type: ignore[assignment]  # wired by Connection
+
+    # -- sending -----------------------------------------------------------------
+
+    def send(
+        self,
+        entity: Optional[ExecutionEntity],
+        size: int,
+        request_id: Optional[int] = None,
+        payload: Any = None,
+    ) -> NetworkMessage:
+        """Send one logical message to the peer.
+
+        If the local node carries a TCP_TRACE probe and ``entity`` is
+        given, the kernel send calls are logged (possibly split into
+        several parts).  Delivery into the peer's socket buffer happens
+        after the fabric delay; the peer's *reads* are logged separately
+        when it actually consumes the data.
+        """
+        env = self.connection.env
+        fabric = self.connection.fabric
+        if entity is not None and self.node.probe is not None:
+            for part in self.connection.segmentation.sender_parts(size):
+                self.node.probe.log_send(
+                    entity,
+                    src_ip=self.ip,
+                    src_port=self.port,
+                    dst_ip=self.peer.ip,
+                    dst_port=self.peer.port,
+                    size=part,
+                    request_id=request_id,
+                )
+        message = NetworkMessage(
+            size=size, request_id=request_id, payload=payload, sent_at=env.now
+        )
+        delay = fabric.transfer_delay(self.node, self.peer.node, size)
+
+        def deliver(_value: Any) -> None:
+            message.delivered_at = env.now
+            self.peer.inbox.put(message)
+
+        env.schedule(deliver, delay=delay)
+        return message
+
+    # -- receiving ------------------------------------------------------------------
+
+    def wait_data(self) -> Generator[Event, Any, NetworkMessage]:
+        """Wait until a message sits in this endpoint's socket buffer.
+
+        No activity is logged here: the bytes are only in the kernel
+        buffer.  The logged ``tcp_recvmsg`` calls happen in
+        :meth:`read`, in the context of whichever worker thread reads.
+        """
+        message = yield self.inbox.get()
+        return message
+
+    def read(self, entity: ExecutionEntity, message: NetworkMessage) -> NetworkMessage:
+        """Consume a buffered message in ``entity``'s context (logs reads)."""
+        if self.node.probe is not None:
+            for part in self.connection.segmentation.receiver_parts(message.size):
+                self.node.probe.log_receive(
+                    entity,
+                    src_ip=self.peer.ip,
+                    src_port=self.peer.port,
+                    dst_ip=self.ip,
+                    dst_port=self.port,
+                    size=part,
+                    request_id=message.request_id,
+                )
+        return message
+
+    def recv(self, entity: ExecutionEntity) -> Generator[Event, Any, NetworkMessage]:
+        """Blocking receive: wait for data, then read it in one step."""
+        message = yield from self.wait_data()
+        return self.read(entity, message)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Endpoint({self.ip}:{self.port}@{self.node.hostname})"
+
+
+class Connection:
+    """A TCP connection between an initiator and an acceptor endpoint."""
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: NetworkFabric,
+        client_node: Node,
+        client_ip: str,
+        client_port: int,
+        server_node: Node,
+        server_ip: str,
+        server_port: int,
+        segmentation: Optional[SegmentationPolicy] = None,
+    ) -> None:
+        self.env = env
+        self.fabric = fabric
+        self.segmentation = segmentation or SegmentationPolicy()
+        self.client = Endpoint(self, client_node, client_ip, client_port)
+        self.server = Endpoint(self, server_node, server_ip, server_port)
+        self.client.peer = self.server
+        self.server.peer = self.client
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Connection({self.client.ip}:{self.client.port} -> "
+            f"{self.server.ip}:{self.server.port})"
+        )
+
+
+@dataclass
+class Listener:
+    """A listening socket: newly established connections queue here."""
+
+    node: Node
+    ip: str
+    port: int
+    backlog: Store = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.backlog is None:
+            self.backlog = Store(self.node.env)
+
+    def accept(self) -> Event:
+        """Event delivering the server-side endpoint of the next connection."""
+        return self.backlog.get()
+
+
+class Network:
+    """Connection establishment and listener registry for one cluster."""
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: Optional[NetworkFabric] = None,
+        segmentation: Optional[SegmentationPolicy] = None,
+    ) -> None:
+        self.env = env
+        self.fabric = fabric or NetworkFabric(env)
+        self.segmentation = segmentation or SegmentationPolicy()
+        self._listeners: Dict[Tuple[str, int], Listener] = {}
+
+    def listen(self, node: Node, ip: str, port: int) -> Listener:
+        """Register a listening socket on ``node``."""
+        key = (ip, port)
+        if key in self._listeners:
+            raise ValueError(f"address already in use: {ip}:{port}")
+        listener = Listener(node=node, ip=ip, port=port)
+        self._listeners[key] = listener
+        return listener
+
+    def listener_for(self, ip: str, port: int) -> Optional[Listener]:
+        return self._listeners.get((ip, port))
+
+    def connect(
+        self,
+        client_node: Node,
+        server_ip: str,
+        server_port: int,
+        client_ip: Optional[str] = None,
+        segmentation: Optional[SegmentationPolicy] = None,
+    ) -> Connection:
+        """Establish a connection from ``client_node`` to a listening socket.
+
+        The server-side endpoint is pushed onto the listener's backlog so
+        the owning tier can start a per-connection handler.  Connection
+        establishment itself is not traced (SYN packets carry no payload
+        and the paper's probe only hooks send/recv of data).
+        """
+        listener = self._listeners.get((server_ip, server_port))
+        if listener is None:
+            raise ConnectionRefusedError(f"nothing listening on {server_ip}:{server_port}")
+        connection = Connection(
+            env=self.env,
+            fabric=self.fabric,
+            client_node=client_node,
+            client_ip=client_ip or client_node.ip,
+            client_port=client_node.allocate_port(),
+            server_node=listener.node,
+            server_ip=server_ip,
+            server_port=server_port,
+            segmentation=segmentation or self.segmentation,
+        )
+        listener.backlog.put(connection.server)
+        return connection

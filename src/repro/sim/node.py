@@ -1,0 +1,125 @@
+"""Simulated cluster nodes, execution entities and CPU scheduling.
+
+A :class:`Node` models one machine of the testbed: it has a hostname, an
+IP address, a small number of CPUs (the paper's nodes are 2-way SMPs), a
+local clock with skew, an ephemeral-port allocator and, optionally, an
+attached TCP_TRACE probe.
+
+Execution entities (:class:`ExecutionEntity`) are the processes and kernel
+threads the tracer identifies contexts by.  Tiers create one entity per
+worker process (httpd), per pool thread (the application server) or per
+connection thread (the database), which is exactly the granularity the
+kernel-level context identifier exposes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from ..core.activity import ContextId
+from .clock import NodeClock
+from .kernel import Environment, Event, Resource
+
+
+@dataclass(frozen=True)
+class ExecutionEntity:
+    """A process or kernel thread on a node (the tracer's context)."""
+
+    hostname: str
+    program: str
+    pid: int
+    tid: int
+
+    def context(self) -> ContextId:
+        return ContextId(self.hostname, self.program, self.pid, self.tid)
+
+
+class Node:
+    """One simulated machine."""
+
+    def __init__(
+        self,
+        env: Environment,
+        hostname: str,
+        ip: str,
+        cpus: int = 2,
+        clock: Optional[NodeClock] = None,
+        traced: bool = False,
+    ) -> None:
+        self.env = env
+        self.hostname = hostname
+        self.ip = ip
+        self.clock = clock or NodeClock()
+        self.cpu = Resource(env, cpus)
+        self.traced = traced
+        self.probe = None  # set by TcpTraceProbe.attach()
+        self._pid_counter = itertools.count(1000)
+        self._port_counter = itertools.count(32768)
+        self._entities: List[ExecutionEntity] = []
+
+    # -- time ----------------------------------------------------------------
+
+    def local_time(self) -> float:
+        """The node's own clock reading at the current simulated instant."""
+        return self.clock.local_time(self.env.now)
+
+    # -- processes and threads -------------------------------------------------
+
+    def new_process(self, program: str) -> ExecutionEntity:
+        """Create a single-threaded process (pid == tid, like httpd prefork)."""
+        pid = next(self._pid_counter)
+        entity = ExecutionEntity(self.hostname, program, pid, pid)
+        self._entities.append(entity)
+        return entity
+
+    def new_thread(self, process: ExecutionEntity) -> ExecutionEntity:
+        """Create an additional kernel thread inside an existing process."""
+        tid = next(self._pid_counter)
+        entity = ExecutionEntity(self.hostname, process.program, process.pid, tid)
+        self._entities.append(entity)
+        return entity
+
+    @property
+    def entities(self) -> List[ExecutionEntity]:
+        return list(self._entities)
+
+    # -- networking helpers --------------------------------------------------------
+
+    def allocate_port(self) -> int:
+        """Allocate an ephemeral port for an outgoing connection."""
+        return next(self._port_counter)
+
+    # -- CPU ------------------------------------------------------------------------
+
+    def compute(self, cpu_seconds: float) -> Generator[Event, None, None]:
+        """Consume ``cpu_seconds`` of CPU, queueing behind other work.
+
+        The node's CPUs are a counted resource: when every processor is
+        busy the caller waits in FIFO order, which is how CPU saturation
+        shows up as growing component latencies in the traces.
+        """
+        if cpu_seconds <= 0:
+            return
+        grant = yield self.cpu.request()
+        try:
+            yield self.env.timeout(cpu_seconds)
+        finally:
+            self.cpu.release(grant)
+
+    def tracing_overhead(self, activities: int = 1) -> float:
+        """Extra CPU seconds the kernel probe costs for ``activities`` events.
+
+        Zero when tracing is disabled on this node; used by the overhead
+        experiments (Fig. 12 / Fig. 13).
+        """
+        if self.probe is None:
+            return 0.0
+        return self.probe.overhead_per_activity * activities
+
+    def cpu_utilisation(self, elapsed: Optional[float] = None) -> float:
+        return self.cpu.utilisation(elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Node({self.hostname}, ip={self.ip}, traced={self.traced})"

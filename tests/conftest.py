@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite.
+
+Integration fixtures run the cluster simulator once per session with a
+small configuration and share the result, so individual tests stay fast.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.services.rubis.client import WorkloadStages
+from repro.services.rubis.deployment import RubisConfig, run_rubis
+
+
+TINY_STAGES = WorkloadStages(up_ramp=0.5, runtime=4.0, down_ramp=0.5)
+
+
+def tiny_config(**overrides) -> RubisConfig:
+    """A small, fast experiment configuration for integration tests."""
+    base = RubisConfig(
+        clients=30,
+        stages=TINY_STAGES,
+        clock_skew=0.001,
+        think_time=3.0,
+        seed=42,
+    )
+    return base.with_overrides(**overrides) if overrides else base
+
+
+@pytest.fixture(scope="session")
+def tiny_run():
+    """One shared small Browse_Only run (traced)."""
+    return run_rubis(tiny_config())
+
+
+@pytest.fixture(scope="session")
+def tiny_trace(tiny_run):
+    """The PreciseTracer result over the shared small run."""
+    return tiny_run.trace(window=0.010)
+
+
+@pytest.fixture(scope="session")
+def loaded_run():
+    """A run with enough concurrency to exercise queueing and thread reuse."""
+    return run_rubis(tiny_config(clients=120, think_time=2.0))
+
+
+@pytest.fixture()
+def trace_builder():
+    """A fresh synthetic-trace builder (no skew, no segmentation)."""
+    from helpers import SyntheticTrace
+
+    return SyntheticTrace()

@@ -1,0 +1,106 @@
+"""Tests for path-accuracy scoring against the ground-truth oracle."""
+
+import pytest
+
+from helpers import SyntheticTrace
+from repro.core.accuracy import GroundTruthRequest, judge_cag, path_accuracy
+from repro.core.correlator import Correlator
+
+
+def correlate(trace):
+    return Correlator(window=0.01).correlate(trace.activities)
+
+
+@pytest.fixture()
+def perfect_trace():
+    trace = SyntheticTrace()
+    for index in range(4):
+        trace.three_tier_request(request_id=index + 1, start=index * 0.5, db_queries=2)
+    return trace
+
+
+class TestJudgeCag:
+    def test_correct_path_is_accepted(self, perfect_trace):
+        result = correlate(perfect_trace)
+        judgement = judge_cag(result.cags[0], perfect_trace.ground_truth, time_tolerance=1e-6)
+        assert judgement.correct
+        assert judgement.reason == "ok"
+
+    def test_unknown_request_id_rejected(self, perfect_trace):
+        result = correlate(perfect_trace)
+        judgement = judge_cag(result.cags[0], {}, time_tolerance=1e-6)
+        assert not judgement.correct
+        assert judgement.reason == "unknown request id"
+
+    def test_context_mismatch_rejected(self, perfect_trace):
+        result = correlate(perfect_trace)
+        truth = dict(perfect_trace.ground_truth)
+        request_id = next(iter(result.cags[0].request_ids()))
+        tampered = GroundTruthRequest(
+            request_id=request_id,
+            start_time=truth[request_id].start_time,
+            end_time=truth[request_id].end_time,
+            contexts=set(truth[request_id].contexts) | {("ghost", "prog", 1, 1)},
+        )
+        truth[request_id] = tampered
+        judgement = judge_cag(result.cags[0], truth, time_tolerance=1e-6)
+        assert not judgement.correct
+        assert "context mismatch" in judgement.reason
+
+    def test_time_mismatch_rejected(self, perfect_trace):
+        result = correlate(perfect_trace)
+        truth = dict(perfect_trace.ground_truth)
+        request_id = next(iter(result.cags[0].request_ids()))
+        original = truth[request_id]
+        truth[request_id] = GroundTruthRequest(
+            request_id=request_id,
+            start_time=original.start_time + 1.0,
+            end_time=original.end_time,
+            contexts=original.contexts,
+        )
+        judgement = judge_cag(result.cags[0], truth, time_tolerance=1e-6)
+        assert not judgement.correct
+        assert judgement.reason == "start time mismatch"
+
+
+class TestPathAccuracy:
+    def test_clean_trace_scores_100_percent(self, perfect_trace):
+        result = correlate(perfect_trace)
+        report = path_accuracy(result.cags, perfect_trace.ground_truth)
+        assert report.accuracy == 1.0
+        assert report.false_positives == 0
+        assert report.false_negatives == 0
+        assert report.total_requests == 4
+
+    def test_missing_path_is_false_negative(self, perfect_trace):
+        result = correlate(perfect_trace)
+        report = path_accuracy(result.cags[:-1], perfect_trace.ground_truth)
+        assert report.false_negatives == 1
+        assert report.accuracy == pytest.approx(3 / 4)
+
+    def test_duplicate_claim_counts_once(self, perfect_trace):
+        result = correlate(perfect_trace)
+        duplicated = list(result.cags) + [result.cags[0]]
+        report = path_accuracy(duplicated, perfect_trace.ground_truth)
+        assert report.correct_paths == 4
+        assert report.false_positives == 1
+
+    def test_empty_ground_truth_gives_perfect_score(self):
+        report = path_accuracy([], {})
+        assert report.accuracy == 1.0
+        assert report.total_requests == 0
+
+    def test_summary_keys(self, perfect_trace):
+        result = correlate(perfect_trace)
+        summary = path_accuracy(result.cags, perfect_trace.ground_truth).summary()
+        assert set(summary) == {
+            "total_requests",
+            "correct_paths",
+            "false_positives",
+            "false_negatives",
+            "accuracy",
+        }
+
+    def test_ground_truth_duration_helper(self):
+        truth = GroundTruthRequest(request_id=1, start_time=1.0, end_time=1.5)
+        assert truth.duration == pytest.approx(0.5)

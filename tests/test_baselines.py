@@ -1,0 +1,114 @@
+"""Tests for the probabilistic baselines and their comparison with PreciseTracer."""
+
+import pytest
+
+from helpers import SyntheticTrace
+from repro.baselines.project5 import nesting_algorithm
+from repro.baselines.wap5 import Wap5Config, Wap5Tracer
+from repro.core.correlator import Correlator
+
+
+def sequential_trace(requests=4):
+    """Requests that never overlap in time: easy for every approach."""
+    trace = SyntheticTrace()
+    for index in range(requests):
+        trace.three_tier_request(request_id=index + 1, start=index * 5.0, db_queries=2)
+    return trace
+
+
+def concurrent_trace(requests=8):
+    """Heavily overlapped requests.
+
+    Each request is serviced by its own worker threads (the paper's
+    assumption 2 holds, so PreciseTracer must stay exact), but the
+    application-server and database threads share their process id --
+    which is exactly the granularity WAP5-style inference works at, so
+    timing-only linking gets confused."""
+    trace = SyntheticTrace()
+    for index in range(requests):
+        trace.three_tier_request(
+            request_id=index + 1,
+            start=1.0 + index * 0.0004,
+            web_pid=100 + index,
+            app_tid=200 + index,
+            db_tid=300 + index,
+            db_queries=2,
+            step=0.002,
+        )
+    return trace
+
+
+class TestWap5:
+    def test_infers_paths_for_sequential_workload(self):
+        trace = sequential_trace()
+        paths = Wap5Tracer().infer_paths(trace.activities)
+        assert len(paths) == len(trace.ground_truth)
+
+    def test_perfect_accuracy_when_requests_do_not_overlap(self):
+        trace = sequential_trace()
+        accuracy = Wap5Tracer().path_accuracy(trace.activities, trace.ground_truth)
+        assert accuracy == 1.0
+
+    def test_accuracy_degrades_under_concurrency(self):
+        trace = concurrent_trace()
+        accuracy = Wap5Tracer().path_accuracy(trace.activities, trace.ground_truth)
+        assert accuracy < 1.0
+
+    def test_precisetracer_beats_wap5_on_the_same_concurrent_trace(self):
+        trace = concurrent_trace()
+        wap5_accuracy = Wap5Tracer().path_accuracy(trace.activities, trace.ground_truth)
+        result = Correlator(window=0.01).correlate(trace.activities)
+        from repro.core.accuracy import path_accuracy
+
+        precise = path_accuracy(result.cags, trace.ground_truth).accuracy
+        assert precise == 1.0
+        assert precise > wap5_accuracy
+
+    def test_empty_ground_truth(self):
+        assert Wap5Tracer().path_accuracy([], {}) == 1.0
+
+    def test_config_controls_causal_horizon(self):
+        config = Wap5Config(max_causal_gap=0.0001, decay=0.001)
+        trace = sequential_trace(requests=2)
+        # with an absurdly small horizon most outputs cannot be linked
+        paths = Wap5Tracer(config).infer_paths(trace.activities)
+        linked = sum(len(path.activities) for path in paths)
+        assert linked < len(trace.activities)
+
+
+class TestProject5Nesting:
+    def test_pairs_calls_and_returns(self):
+        trace = sequential_trace(requests=2)
+        result = nesting_algorithm(trace.activities)
+        assert result.pairs
+        # every pair must have both halves for a complete trace
+        complete = [pair for pair in result.pairs if pair.return_receive is not None]
+        assert complete
+
+    def test_sequential_requests_nest_correctly(self):
+        trace = sequential_trace(requests=3)
+        result = nesting_algorithm(trace.activities)
+        assert result.path_accuracy(trace.ground_truth) == 1.0
+
+    def test_concurrent_requests_confuse_nesting(self):
+        trace = concurrent_trace()
+        result = nesting_algorithm(trace.activities)
+        assert result.path_accuracy(trace.ground_truth) < 1.0
+
+    def test_roots_are_calls_issued_by_the_frontend(self):
+        # The client side is untraced, so the outermost visible RPC is the
+        # web tier calling the application tier.
+        trace = sequential_trace(requests=2)
+        result = nesting_algorithm(trace.activities)
+        assert result.roots()
+        for root in result.roots():
+            assert root.caller[1] == "httpd"
+            assert root.callee[1] == "java"
+
+    def test_children_of_lists_nested_calls(self):
+        trace = sequential_trace(requests=1)
+        result = nesting_algorithm(trace.activities)
+        roots = result.roots()
+        assert roots
+        nested = result.children_of(roots[0])
+        assert len(nested) >= 1

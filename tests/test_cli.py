@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list_prints_every_figure(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for figure_id in ("fig8", "fig15", "fig17", "sec5.2"):
+            assert figure_id in output
+
+    def test_trace_command_reports_accuracy(self, capsys):
+        code = main(
+            [
+                "trace",
+                "--clients",
+                "15",
+                "--runtime",
+                "3",
+                "--window",
+                "0.01",
+                "--seed",
+                "5",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "path accuracy" in output
+        assert "100.00 %" in output
+        assert "latency percentages" in output
+
+    def test_trace_command_with_fault_and_noise(self, capsys):
+        code = main(
+            [
+                "trace",
+                "--clients",
+                "10",
+                "--runtime",
+                "3",
+                "--fault",
+                "ejb_delay",
+                "--noise",
+                "--seed",
+                "6",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "causal paths" in output
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,113 @@
+"""Tests for the performance-debugging layer (latency-percentage deltas)."""
+
+import pytest
+
+from repro.core.debugging import (
+    Diagnosis,
+    LatencyProfile,
+    SegmentChange,
+    compare_profiles,
+    diagnose,
+    profile_series,
+)
+from repro.core.latency import LatencyBreakdown
+
+
+def profile(name, segments):
+    return LatencyProfile(name=name, breakdown=LatencyBreakdown(dict(segments)), request_count=10)
+
+
+REFERENCE = profile(
+    "normal",
+    {"httpd2httpd": 0.01, "httpd2java": 0.01, "java2java": 0.03, "java2mysqld": 0.10, "mysqld2mysqld": 0.05},
+)
+
+
+class TestSegmentChange:
+    def test_delta(self):
+        change = SegmentChange("java2java", 10.0, 45.0)
+        assert change.delta == pytest.approx(35.0)
+
+    def test_interaction_vs_component(self):
+        assert SegmentChange("httpd2java", 0, 0).is_interaction
+        assert not SegmentChange("java2java", 0, 0).is_interaction
+
+    def test_involved_components(self):
+        assert SegmentChange("httpd2java", 0, 0).involved_components() == ("httpd", "java")
+        assert SegmentChange("mysqld2mysqld", 0, 0).involved_components() == ("mysqld",)
+
+    def test_describe_mentions_direction_of_change(self):
+        text = SegmentChange("java2java", 10.0, 40.0).describe()
+        assert "+30.0" in text
+
+
+class TestCompareAndDiagnose:
+    def test_compare_orders_by_growth(self):
+        observed = profile(
+            "faulty",
+            {"httpd2httpd": 0.01, "httpd2java": 0.01, "java2java": 0.30, "java2mysqld": 0.10, "mysqld2mysqld": 0.05},
+        )
+        changes = compare_profiles(REFERENCE, observed)
+        assert changes[0].label == "java2java"
+        assert changes[0].delta > 0
+
+    def test_diagnose_flags_only_large_changes(self):
+        observed = profile(
+            "faulty",
+            {"httpd2httpd": 0.01, "httpd2java": 0.01, "java2java": 0.30, "java2mysqld": 0.10, "mysqld2mysqld": 0.05},
+        )
+        result = diagnose(REFERENCE, observed, threshold=10.0)
+        assert result.has_anomaly
+        assert result.primary_suspect.label == "java2java"
+        assert "java" in result.suspected_components()
+
+    def test_diagnose_no_anomaly_for_identical_profiles(self):
+        result = diagnose(REFERENCE, REFERENCE, threshold=5.0)
+        assert not result.has_anomaly
+        assert result.primary_suspect is None
+        assert result.suspected_components() == []
+        assert "comparable" in result.report()
+
+    def test_diagnose_interaction_implicates_both_components(self):
+        observed = profile(
+            "faulty",
+            {"httpd2httpd": 0.01, "httpd2java": 0.40, "java2java": 0.03, "java2mysqld": 0.10, "mysqld2mysqld": 0.05},
+        )
+        suspects = diagnose(REFERENCE, observed, threshold=10.0).suspected_components()
+        assert set(suspects) >= {"httpd", "java"}
+
+    def test_report_lists_anomalous_segments(self):
+        observed = profile(
+            "faulty",
+            {"httpd2httpd": 0.01, "httpd2java": 0.01, "java2java": 0.03, "java2mysqld": 0.10, "mysqld2mysqld": 0.50},
+        )
+        report = diagnose(REFERENCE, observed, threshold=10.0).report()
+        assert "mysqld2mysqld" in report
+        assert "suspected component(s): mysqld" in report
+
+    def test_missing_segments_treated_as_zero(self):
+        observed = profile("faulty", {"java2java": 0.2})
+        changes = compare_profiles(REFERENCE, observed)
+        labels = {change.label for change in changes}
+        assert "java2mysqld" in labels  # present in reference only
+
+
+class TestProfileBuilding:
+    def test_profile_from_cags_and_series(self, tiny_trace):
+        cags = tiny_trace.cags
+        assert cags
+        whole = LatencyProfile.from_cags("all", cags)
+        dominant = LatencyProfile.from_dominant_pattern("dominant", cags)
+        assert whole.request_count == len(cags)
+        assert dominant.request_count <= whole.request_count
+        assert dominant.average_latency > 0
+
+    def test_profile_from_empty_cag_list(self):
+        empty = LatencyProfile.from_dominant_pattern("empty", [])
+        assert empty.request_count == 0
+        assert empty.percentages == {}
+
+    def test_profile_series_builds_one_profile_per_run(self, tiny_trace):
+        series = profile_series({"run1": tiny_trace.cags, "run2": tiny_trace.cags})
+        assert set(series) == {"run1", "run2"}
+        assert all(isinstance(p, LatencyProfile) for p in series.values())

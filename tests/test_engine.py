@@ -1,0 +1,257 @@
+"""Unit tests for the correlation engine (Fig. 3 pseudo-code)."""
+
+import pytest
+
+from repro.core.activity import Activity, ActivityType, ContextId, MessageId
+from repro.core.cag import CONTEXT_EDGE, MESSAGE_EDGE
+from repro.core.engine import CorrelationEngine
+
+
+WEB_CTX = ("www", "httpd", 100, 100)
+APP_CTX = ("app", "java", 200, 201)
+DB_CTX = ("db", "mysqld", 300, 301)
+
+
+def act(activity_type, ts, ctx, src, dst, size=100, rid=1):
+    return Activity(
+        type=activity_type,
+        timestamp=ts,
+        context=ContextId(*ctx),
+        message=MessageId(src[0], src[1], dst[0], dst[1], size),
+        request_id=rid,
+    )
+
+
+CLIENT = ("9.9.9.9", 55000)
+WEB_FRONT = ("10.0.0.1", 80)
+WEB_OUT = ("10.0.0.1", 33000)
+APP_IN = ("10.0.0.2", 8080)
+
+
+def begin(ts=1.0, size=400):
+    return act(ActivityType.BEGIN, ts, WEB_CTX, CLIENT, WEB_FRONT, size)
+
+
+def simple_request(engine):
+    """Feed a minimal BEGIN -> SEND -> RECEIVE -> SEND -> RECEIVE -> END."""
+    b = begin(1.0)
+    s1 = act(ActivityType.SEND, 1.1, WEB_CTX, WEB_OUT, APP_IN, 600)
+    r1 = act(ActivityType.RECEIVE, 1.2, APP_CTX, WEB_OUT, APP_IN, 600)
+    s2 = act(ActivityType.SEND, 1.3, APP_CTX, APP_IN, WEB_OUT, 900)
+    r2 = act(ActivityType.RECEIVE, 1.4, WEB_CTX, APP_IN, WEB_OUT, 900)
+    e = act(ActivityType.END, 1.5, WEB_CTX, WEB_FRONT, CLIENT, 2000)
+    for activity in (b, s1, r1, s2, r2, e):
+        engine.process(activity)
+    return [b, s1, r1, s2, r2, e]
+
+
+class TestBeginEnd:
+    def test_begin_creates_open_cag(self):
+        engine = CorrelationEngine()
+        engine.process(begin())
+        assert len(engine.open_cags) == 1
+        assert len(engine.finished_cags) == 0
+        assert engine.stats.begins == 1
+
+    def test_end_finishes_cag_and_outputs_it(self):
+        engine = CorrelationEngine()
+        activities = simple_request(engine)
+        assert len(engine.finished_cags) == 1
+        assert len(engine.open_cags) == 0
+        cag = engine.finished_cags[0]
+        assert cag.finished
+        assert len(cag) == len(activities)
+
+    def test_end_without_context_parent_is_unmatched(self):
+        engine = CorrelationEngine()
+        engine.process(act(ActivityType.END, 1.0, WEB_CTX, WEB_FRONT, CLIENT, 2000))
+        assert engine.stats.unmatched_ends == 1
+        assert not engine.finished_cags
+
+    def test_split_begin_parts_merge_into_one_root(self):
+        engine = CorrelationEngine()
+        engine.process(begin(1.0, size=300))
+        engine.process(begin(1.0001, size=100))
+        assert len(engine.open_cags) == 1
+        assert engine.open_cags[0].root.size == 400
+
+    def test_split_end_parts_merge(self):
+        engine = CorrelationEngine()
+        activities = simple_request(engine)
+        extra_end = act(ActivityType.END, 1.50001, WEB_CTX, WEB_FRONT, CLIENT, 500)
+        engine.process(extra_end)
+        assert len(engine.finished_cags) == 1
+        # the extra part only grew the first END's byte count
+        assert activities[-1].size == 2500
+
+    def test_two_requests_in_same_worker_produce_two_cags(self):
+        engine = CorrelationEngine()
+        simple_request(engine)
+        # second request handled by the same httpd worker (context reuse)
+        b = begin(2.0)
+        e = act(ActivityType.END, 2.5, WEB_CTX, WEB_FRONT, CLIENT, 1000)
+        engine.process(b)
+        engine.process(e)
+        assert len(engine.finished_cags) == 2
+        first, second = engine.finished_cags
+        assert first.root is not second.root
+
+
+class TestSendHandling:
+    def test_send_joins_cag_with_context_edge(self):
+        engine = CorrelationEngine()
+        b = begin()
+        s = act(ActivityType.SEND, 1.1, WEB_CTX, WEB_OUT, APP_IN, 600)
+        engine.process(b)
+        engine.process(s)
+        cag = engine.open_cags[0]
+        assert s in cag
+        assert cag.context_parent(s) is b
+
+    def test_send_without_parent_is_ignored(self):
+        engine = CorrelationEngine()
+        s = act(ActivityType.SEND, 1.0, APP_CTX, APP_IN, WEB_OUT, 100)
+        engine.process(s)
+        assert engine.stats.unmatched_sends == 1
+        assert not engine.mmap.has_match(s.message_key)
+
+    def test_consecutive_send_parts_merge_by_size(self):
+        engine = CorrelationEngine()
+        b = begin()
+        part1 = act(ActivityType.SEND, 1.1, WEB_CTX, WEB_OUT, APP_IN, 400)
+        part2 = act(ActivityType.SEND, 1.1001, WEB_CTX, WEB_OUT, APP_IN, 200)
+        for activity in (b, part1, part2):
+            engine.process(activity)
+        assert engine.stats.merged_sends == 1
+        assert part1.size == 600
+        cag = engine.open_cags[0]
+        assert part1 in cag
+        assert part2 not in cag
+
+    def test_sends_to_different_destinations_do_not_merge(self):
+        engine = CorrelationEngine()
+        b = begin()
+        to_app = act(ActivityType.SEND, 1.1, WEB_CTX, WEB_OUT, APP_IN, 400)
+        to_other = act(ActivityType.SEND, 1.2, WEB_CTX, WEB_OUT, ("10.0.0.9", 1234), 300)
+        for activity in (b, to_app, to_other):
+            engine.process(activity)
+        assert engine.stats.merged_sends == 0
+        assert len(engine.open_cags[0]) == 3
+
+
+class TestReceiveHandling:
+    def test_receive_matches_send_and_gets_message_edge(self):
+        engine = CorrelationEngine()
+        b = begin()
+        s = act(ActivityType.SEND, 1.1, WEB_CTX, WEB_OUT, APP_IN, 600)
+        r = act(ActivityType.RECEIVE, 1.2, APP_CTX, WEB_OUT, APP_IN, 600)
+        for activity in (b, s, r):
+            engine.process(activity)
+        cag = engine.open_cags[0]
+        assert cag.message_parent(r) is s
+        assert not engine.mmap.has_match(s.message_key)
+
+    def test_unmatched_receive_is_counted_and_ignored(self):
+        engine = CorrelationEngine()
+        r = act(ActivityType.RECEIVE, 1.0, APP_CTX, WEB_OUT, APP_IN, 600)
+        engine.process(r)
+        assert engine.stats.unmatched_receives == 1
+
+    def test_partial_receives_accumulate_until_balance(self):
+        """Fig. 4: one send, receiver reads in three parts."""
+        engine = CorrelationEngine()
+        b = begin()
+        s = act(ActivityType.SEND, 1.1, WEB_CTX, WEB_OUT, APP_IN, 900)
+        parts = [
+            act(ActivityType.RECEIVE, 1.2, APP_CTX, WEB_OUT, APP_IN, 400),
+            act(ActivityType.RECEIVE, 1.21, APP_CTX, WEB_OUT, APP_IN, 400),
+            act(ActivityType.RECEIVE, 1.22, APP_CTX, WEB_OUT, APP_IN, 100),
+        ]
+        engine.process(b)
+        engine.process(s)
+        for part in parts[:-1]:
+            engine.process(part)
+            assert engine.mmap.has_match(s.message_key)  # still pending
+        engine.process(parts[-1])
+        cag = engine.open_cags[0]
+        assert parts[-1] in cag  # the completing part becomes the vertex
+        assert parts[0] not in cag
+        assert engine.stats.partial_receives == 2
+
+    def test_n_to_n_segmentation_with_interleaved_delivery(self):
+        """Fig. 4 general case: 2 send parts, 3 receive parts, interleaved."""
+        engine = CorrelationEngine()
+        b = begin()
+        s1 = act(ActivityType.SEND, 1.1, WEB_CTX, WEB_OUT, APP_IN, 500)
+        s2 = act(ActivityType.SEND, 1.1001, WEB_CTX, WEB_OUT, APP_IN, 400)
+        r1 = act(ActivityType.RECEIVE, 1.2, APP_CTX, WEB_OUT, APP_IN, 300)
+        r2 = act(ActivityType.RECEIVE, 1.21, APP_CTX, WEB_OUT, APP_IN, 300)
+        r3 = act(ActivityType.RECEIVE, 1.22, APP_CTX, WEB_OUT, APP_IN, 300)
+        # delivery order interleaves receive parts between the send parts
+        for activity in (b, s1, r1, r2, s2, r3):
+            engine.process(activity)
+        cag = engine.open_cags[0]
+        receives_in_cag = [v for v in cag.vertices if v.type is ActivityType.RECEIVE]
+        assert len(receives_in_cag) == 1
+        assert cag.message_parent(receives_in_cag[0]) is s1
+
+    def test_balance_reached_during_merge_still_adds_receive(self):
+        """The byte balance can hit zero while a SEND part is merged."""
+        engine = CorrelationEngine()
+        b = begin()
+        s1 = act(ActivityType.SEND, 1.1, WEB_CTX, WEB_OUT, APP_IN, 500)
+        s2 = act(ActivityType.SEND, 1.1001, WEB_CTX, WEB_OUT, APP_IN, 400)
+        r1 = act(ActivityType.RECEIVE, 1.2, APP_CTX, WEB_OUT, APP_IN, 600)
+        r2 = act(ActivityType.RECEIVE, 1.21, APP_CTX, WEB_OUT, APP_IN, 300)
+        # all receiver bytes are delivered before the second send part
+        for activity in (b, s1, r1, r2, s2):
+            engine.process(activity)
+        cag = engine.open_cags[0]
+        receives_in_cag = [v for v in cag.vertices if v.type is ActivityType.RECEIVE]
+        assert len(receives_in_cag) == 1
+        assert not engine.mmap.has_match(s1.message_key)
+
+    def test_receive_gets_context_edge_only_within_same_cag(self):
+        """Thread reuse (Fig. 3 lines 29-32): the recycled thread's previous
+        activity belongs to another request and must not be linked."""
+        engine = CorrelationEngine()
+        first = simple_request(engine)
+        # Second request: same app thread (APP_CTX) serves it.
+        b = begin(2.0)
+        s = act(ActivityType.SEND, 2.1, WEB_CTX, WEB_OUT, APP_IN, 600)
+        r = act(ActivityType.RECEIVE, 2.2, APP_CTX, WEB_OUT, APP_IN, 600)
+        for activity in (b, s, r):
+            engine.process(activity)
+        cag = engine.open_cags[0]
+        # message edge present, but no context edge back to request 1
+        assert cag.message_parent(r) is s
+        assert cag.context_parent(r) is None
+        assert engine.stats.thread_reuse_blocked >= 1
+
+    def test_receive_with_both_parents_in_same_cag_gets_both(self):
+        engine = CorrelationEngine()
+        activities = simple_request(engine)
+        cag = engine.finished_cags[0]
+        r2 = activities[4]
+        assert cag.message_parent(r2) is activities[3]
+        assert cag.context_parent(r2) is activities[1]
+
+
+class TestLifecycleAndState:
+    def test_finished_cag_state_is_cleaned_up(self):
+        engine = CorrelationEngine()
+        simple_request(engine)
+        assert len(engine.mmap) == 0
+        assert engine.pending_state_size() >= 0
+        assert len(engine._owner) == 0  # internal, but the leak matters
+
+    def test_validate_every_finished_cag(self):
+        engine = CorrelationEngine()
+        simple_request(engine)
+        for cag in engine.finished_cags:
+            cag.validate()
+
+    def test_request_ids_are_pure_per_cag(self):
+        engine = CorrelationEngine()
+        simple_request(engine)
+        assert engine.finished_cags[0].request_ids() == {1}

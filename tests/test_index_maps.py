@@ -1,0 +1,124 @@
+"""Unit tests for the mmap / cmap index structures."""
+
+from repro.core.activity import Activity, ActivityType, ContextId, MessageId
+from repro.core.index_maps import ContextMap, MessageMap
+
+
+def send(port=1000, size=100, tid=1):
+    return Activity(
+        type=ActivityType.SEND,
+        timestamp=1.0,
+        context=ContextId("app", "java", 1, tid),
+        message=MessageId("10.0.0.2", port, "10.0.0.3", 3306, size),
+    )
+
+
+def receive(port=1000, size=100, tid=9):
+    return Activity(
+        type=ActivityType.RECEIVE,
+        timestamp=1.5,
+        context=ContextId("db", "mysqld", 2, tid),
+        message=MessageId("10.0.0.2", port, "10.0.0.3", 3306, size),
+    )
+
+
+class TestMessageMap:
+    def test_insert_and_match(self):
+        mmap = MessageMap()
+        activity = send()
+        mmap.insert(activity)
+        assert mmap.match(activity.message_key) is activity
+        assert mmap.has_match(receive().message_key)
+
+    def test_empty_map_has_no_match(self):
+        mmap = MessageMap()
+        assert mmap.match(send().message_key) is None
+        assert not mmap.has_match(send().message_key)
+        assert len(mmap) == 0
+
+    def test_fifo_order_for_pipelined_sends(self):
+        mmap = MessageMap()
+        first, second = send(size=10), send(size=20)
+        mmap.insert(first)
+        mmap.insert(second)
+        assert mmap.match(first.message_key) is first
+        mmap.remove(first)
+        assert mmap.match(first.message_key) is second
+
+    def test_different_connections_do_not_collide(self):
+        mmap = MessageMap()
+        a, b = send(port=1000), send(port=2000)
+        mmap.insert(a)
+        mmap.insert(b)
+        assert mmap.match(a.message_key) is a
+        assert mmap.match(b.message_key) is b
+        assert len(mmap) == 2
+
+    def test_remove_unknown_is_noop(self):
+        mmap = MessageMap()
+        mmap.remove(send())  # must not raise
+        mmap.insert(send(port=1))
+        mmap.remove(send(port=2))
+        assert len(mmap) == 1
+
+    def test_is_pending_tracks_identity(self):
+        mmap = MessageMap()
+        a, b = send(), send()
+        mmap.insert(a)
+        assert mmap.is_pending(a)
+        assert not mmap.is_pending(b)
+        mmap.remove(a)
+        assert not mmap.is_pending(a)
+
+    def test_pending_sends_iterates_everything(self):
+        mmap = MessageMap()
+        activities = [send(port=p) for p in (1, 2, 3)]
+        for activity in activities:
+            mmap.insert(activity)
+        assert len(list(mmap.pending_sends())) == 3
+
+    def test_clear(self):
+        mmap = MessageMap()
+        mmap.insert(send())
+        mmap.clear()
+        assert len(mmap) == 0
+
+
+class TestContextMap:
+    def test_latest_returns_most_recent_update(self):
+        cmap = ContextMap()
+        first, second = send(tid=5), send(tid=5)
+        cmap.update(first)
+        cmap.update(second)
+        assert cmap.latest(second.context_key) is second
+        assert len(cmap) == 1
+
+    def test_latest_none_for_unknown_context(self):
+        cmap = ContextMap()
+        assert cmap.latest(("x", "y", 1, 2)) is None
+
+    def test_contexts_are_independent(self):
+        cmap = ContextMap()
+        a, b = send(tid=1), send(tid=2)
+        cmap.update(a)
+        cmap.update(b)
+        assert cmap.latest(a.context_key) is a
+        assert cmap.latest(b.context_key) is b
+        assert len(cmap) == 2
+
+    def test_contains_and_remove(self):
+        cmap = ContextMap()
+        activity = send()
+        cmap.update(activity)
+        assert activity.context_key in cmap
+        cmap.remove(activity.context_key)
+        assert activity.context_key not in cmap
+        cmap.remove(activity.context_key)  # idempotent
+
+    def test_items_and_clear(self):
+        cmap = ContextMap()
+        cmap.update(send(tid=1))
+        cmap.update(send(tid=2))
+        assert len(list(cmap.items())) == 2
+        cmap.clear()
+        assert len(cmap) == 0

@@ -1,0 +1,86 @@
+"""Tests for causal-path pattern classification."""
+
+import pytest
+
+from helpers import SyntheticTrace
+from repro.core.correlator import Correlator
+from repro.core.patterns import PatternClassifier, cag_signature, classify, dominant_pattern
+
+
+def make_cags(query_counts):
+    trace = SyntheticTrace()
+    for index, queries in enumerate(query_counts):
+        trace.three_tier_request(
+            request_id=index + 1,
+            start=index * 1.0,
+            db_queries=queries,
+            web_pid=100 + index % 5,   # different workers every time
+            app_tid=200 + index % 7,
+            db_tid=300 + index % 7,
+        )
+    result = Correlator(window=0.01).correlate(trace.activities)
+    assert result.completed_requests == len(query_counts)
+    return result.cags
+
+
+class TestSignature:
+    def test_same_shape_same_signature_despite_different_workers(self):
+        cags = make_cags([2, 2])
+        assert cag_signature(cags[0]) == cag_signature(cags[1])
+
+    def test_different_query_count_changes_signature(self):
+        cags = make_cags([1, 3])
+        assert cag_signature(cags[0]) != cag_signature(cags[1])
+
+    def test_signature_contains_component_info_not_pids(self):
+        cags = make_cags([1])
+        vertex_sigs, _ = cag_signature(cags[0])
+        for type_name, hostname, program in vertex_sigs:
+            assert isinstance(type_name, str)
+            assert program in {"httpd", "java", "mysqld"}
+
+
+class TestClassification:
+    def test_groups_by_shape(self):
+        cags = make_cags([2, 2, 2, 1, 1, 3])
+        patterns = classify(cags)
+        assert len(patterns) == 3
+        assert patterns[0].count == 3  # most frequent first
+        assert sum(p.count for p in patterns) == 6
+
+    def test_dominant_pattern(self):
+        cags = make_cags([2, 2, 1])
+        dominant = dominant_pattern(cags)
+        assert dominant is not None
+        assert dominant.count == 2
+
+    def test_dominant_pattern_of_empty_is_none(self):
+        assert dominant_pattern([]) is None
+
+    def test_pattern_components_and_length(self):
+        cags = make_cags([2])
+        pattern = classify(cags)[0]
+        components = {program for _host, program in pattern.components()}
+        assert components == {"httpd", "java", "mysqld"}
+        assert pattern.length == len(cags[0])
+
+    def test_pattern_average_path_and_latency(self):
+        cags = make_cags([2, 2])
+        pattern = classify(cags)[0]
+        average = pattern.average_path()
+        assert average.total > 0
+        assert pattern.average_latency() == pytest.approx(cags[0].duration(), rel=1e-6)
+
+    def test_describe_mentions_count(self):
+        cags = make_cags([1, 1])
+        text = classify(cags)[0].describe()
+        assert "2 paths" in text
+
+    def test_classifier_incremental_add(self):
+        cags = make_cags([1, 2])
+        classifier = PatternClassifier()
+        classifier.add(cags[0])
+        assert len(classifier) == 1
+        classifier.add(cags[1])
+        assert len(classifier) == 2
+        assert classifier.most_frequent() is not None

@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from helpers import SyntheticTrace
+from repro.core.accuracy import path_accuracy
+from repro.core.correlator import Correlator
+from repro.core.latency import LatencyBreakdown, breakdown_for_cag
+from repro.core.log_format import RawRecord, format_record, parse_record
+from repro.core.patterns import cag_signature
+from repro.sim.network import SegmentationPolicy
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ip_strategy = st.tuples(
+    st.integers(1, 254), st.integers(0, 254), st.integers(0, 254), st.integers(1, 254)
+).map(lambda parts: ".".join(str(part) for part in parts))
+
+record_strategy = st.builds(
+    RawRecord,
+    timestamp=st.floats(min_value=0, max_value=1e7, allow_nan=False, allow_infinity=False),
+    hostname=st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=12),
+    program=st.text(alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12),
+    pid=st.integers(1, 2**22),
+    tid=st.integers(1, 2**22),
+    direction=st.sampled_from(["SEND", "RECEIVE"]),
+    src_ip=ip_strategy,
+    src_port=st.integers(1, 65535),
+    dst_ip=ip_strategy,
+    dst_port=st.integers(1, 65535),
+    size=st.integers(0, 10**9),
+    request_id=st.one_of(st.none(), st.integers(1, 10**9)),
+)
+
+
+class TestLogFormatProperties:
+    @given(record=record_strategy)
+    @settings(max_examples=200, **COMMON)
+    def test_format_parse_round_trip(self, record):
+        parsed = parse_record(format_record(record))
+        assert parsed.hostname == record.hostname
+        assert parsed.program == record.program
+        assert (parsed.pid, parsed.tid) == (record.pid, record.tid)
+        assert parsed.direction == record.direction
+        assert (parsed.src_ip, parsed.src_port) == (record.src_ip, record.src_port)
+        assert (parsed.dst_ip, parsed.dst_port) == (record.dst_ip, record.dst_port)
+        assert parsed.size == record.size
+        assert parsed.request_id == record.request_id
+        assert abs(parsed.timestamp - record.timestamp) < 1e-5
+
+
+class TestSegmentationProperties:
+    @given(size=st.integers(0, 10**6), sender=st.integers(1, 20_000), receiver=st.integers(1, 20_000))
+    @settings(max_examples=200, **COMMON)
+    def test_parts_conserve_bytes_and_respect_bounds(self, size, sender, receiver):
+        policy = SegmentationPolicy(sender_max_bytes=sender, receiver_max_bytes=receiver)
+        sender_parts = policy.sender_parts(size)
+        receiver_parts = policy.receiver_parts(size)
+        assert sum(sender_parts) == size
+        assert sum(receiver_parts) == size
+        if size > 0:
+            assert all(0 < part <= sender for part in sender_parts)
+            assert all(0 < part <= receiver for part in receiver_parts)
+
+
+class TestLatencyBreakdownProperties:
+    @given(
+        segments=st.dictionaries(
+            st.sampled_from(["a2a", "a2b", "b2b", "b2c", "c2c"]),
+            st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=100, **COMMON)
+    def test_percentages_are_normalised(self, segments):
+        breakdown = LatencyBreakdown(dict(segments))
+        percentages = breakdown.percentages()
+        if breakdown.total > 0:
+            assert abs(sum(percentages.values()) - 100.0) < 1e-6
+        assert all(0.0 <= value <= 100.0 + 1e-9 for value in percentages.values())
+
+
+class TestCorrelationProperties:
+    @given(
+        requests=st.integers(1, 10),
+        window=st.floats(min_value=1e-4, max_value=50.0, allow_nan=False),
+        skew=st.floats(min_value=-0.4, max_value=0.4, allow_nan=False),
+        queries=st.integers(1, 4),
+        spacing=st.floats(min_value=0.001, max_value=0.5, allow_nan=False),
+    )
+    @settings(max_examples=60, **COMMON)
+    def test_tracer_is_exact_for_any_window_skew_and_load(
+        self, requests, window, skew, queries, spacing
+    ):
+        """The paper's central claim: correct causal paths for any positive
+        window size and any bounded clock skew."""
+        trace = SyntheticTrace(skews={"app": skew, "db": -skew})
+        for index in range(requests):
+            trace.three_tier_request(
+                request_id=index + 1,
+                start=0.5 + index * spacing,
+                web_pid=100 + index % 3,
+                app_tid=200 + index % 3,
+                db_tid=300 + index % 3,
+                db_queries=queries,
+            )
+        result = Correlator(window=window).correlate(trace.activities)
+        report = path_accuracy(result.cags, trace.ground_truth)
+        assert report.accuracy == 1.0
+        assert report.false_positives == 0
+        for cag in result.cags:
+            cag.validate()
+
+    @given(
+        requests=st.integers(2, 6),
+        seg=st.integers(120, 900),
+    )
+    @settings(max_examples=40, **COMMON)
+    def test_segmentation_never_breaks_paths(self, requests, seg):
+        trace = SyntheticTrace(sender_max=seg, receiver_max=max(64, int(seg * 0.6)))
+        for index in range(requests):
+            trace.three_tier_request(request_id=index + 1, start=0.2 + index * 0.05)
+        result = Correlator(window=0.01).correlate(trace.activities)
+        assert path_accuracy(result.cags, trace.ground_truth).accuracy == 1.0
+
+    @given(requests=st.integers(2, 8), queries=st.integers(1, 3))
+    @settings(max_examples=40, **COMMON)
+    def test_isomorphic_requests_share_one_signature(self, requests, queries):
+        trace = SyntheticTrace()
+        for index in range(requests):
+            trace.three_tier_request(
+                request_id=index + 1,
+                start=index * 1.0,
+                web_pid=100 + index,
+                app_tid=200 + index,
+                db_tid=300 + index,
+                db_queries=queries,
+            )
+        result = Correlator(window=0.01).correlate(trace.activities)
+        signatures = {cag_signature(cag) for cag in result.cags}
+        assert len(signatures) == 1
+
+    @given(requests=st.integers(1, 6))
+    @settings(max_examples=30, **COMMON)
+    def test_breakdown_total_matches_duration_without_skew(self, requests):
+        trace = SyntheticTrace()
+        for index in range(requests):
+            trace.three_tier_request(request_id=index + 1, start=index * 0.7)
+        result = Correlator(window=0.01).correlate(trace.activities)
+        for cag in result.cags:
+            breakdown = breakdown_for_cag(cag)
+            assert abs(breakdown.total - cag.duration()) < 1e-9

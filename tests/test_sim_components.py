@@ -1,0 +1,254 @@
+"""Tests for clocks, random streams, nodes, the network and the probe."""
+
+import pytest
+
+from repro.core.activity import ActivityType
+from repro.core.log_format import parse_record
+from repro.sim.clock import NodeClock, spread_skews
+from repro.sim.kernel import Environment
+from repro.sim.network import Network, NetworkFabric, SegmentationPolicy
+from repro.sim.node import Node
+from repro.sim.randomness import RandomStreams
+from repro.sim.tcp_trace import TcpTraceProbe, TraceCollector
+
+
+class TestNodeClock:
+    def test_zero_skew_is_identity(self):
+        clock = NodeClock()
+        assert clock.local_time(12.5) == 12.5
+
+    def test_constant_skew(self):
+        clock = NodeClock(skew=0.25)
+        assert clock.local_time(1.0) == pytest.approx(1.25)
+        assert clock.global_time(1.25) == pytest.approx(1.0)
+
+    def test_drift(self):
+        clock = NodeClock(skew=0.0, drift=1e-3)
+        assert clock.local_time(100.0) == pytest.approx(100.1)
+
+    def test_spread_skews_bounds_and_reference(self):
+        clocks = spread_skews(["a", "b", "c"], max_skew=0.5)
+        assert clocks["a"].skew == 0.0
+        assert all(abs(clock.skew) <= 0.5 for clock in clocks.values())
+        assert clocks["b"].skew != clocks["c"].skew
+
+    def test_spread_skews_zero(self):
+        clocks = spread_skews(["a", "b"], max_skew=0.0)
+        assert all(clock.skew == 0.0 for clock in clocks.values())
+
+
+class TestRandomStreams:
+    def test_same_seed_same_sequence(self):
+        a = RandomStreams(seed=5)
+        b = RandomStreams(seed=5)
+        assert [a.exponential("x", 1.0) for _ in range(5)] == [
+            b.exponential("x", 1.0) for _ in range(5)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(seed=5)
+        b = RandomStreams(seed=6)
+        assert a.exponential("x", 1.0) != b.exponential("x", 1.0)
+
+    def test_streams_are_independent(self):
+        streams = RandomStreams(seed=5)
+        first = streams.exponential("a", 1.0)
+        # consuming another stream must not perturb the first one
+        fresh = RandomStreams(seed=5)
+        fresh.exponential("b", 1.0)
+        assert fresh.exponential("a", 1.0) == pytest.approx(first)
+
+    def test_exponential_mean_roughly_respected(self):
+        streams = RandomStreams(seed=1)
+        samples = [streams.exponential("x", 2.0) for _ in range(4000)]
+        assert sum(samples) / len(samples) == pytest.approx(2.0, rel=0.15)
+
+    def test_lognormal_like_positive_and_centred(self):
+        streams = RandomStreams(seed=1)
+        samples = [streams.lognormal_like("svc", 0.01) for _ in range(3000)]
+        assert all(sample > 0 for sample in samples)
+        assert sum(samples) / len(samples) == pytest.approx(0.01, rel=0.3)
+
+    def test_zero_mean_returns_zero(self):
+        streams = RandomStreams(seed=1)
+        assert streams.exponential("x", 0.0) == 0.0
+        assert streams.lognormal_like("x", 0.0) == 0.0
+
+    def test_weighted_choice_respects_weights(self):
+        streams = RandomStreams(seed=3)
+        counts = {"a": 0, "b": 0}
+        for _ in range(2000):
+            counts[streams.weighted_choice("mix", [("a", 0.9), ("b", 0.1)])] += 1
+        assert counts["a"] > counts["b"] * 4
+
+
+class TestNodeAndProbe:
+    def test_entities_have_distinct_ids(self):
+        node = Node(Environment(), "n1", "10.0.0.1")
+        p1 = node.new_process("httpd")
+        p2 = node.new_process("httpd")
+        thread = node.new_thread(p2)
+        assert p1.pid != p2.pid
+        assert thread.pid == p2.pid and thread.tid != p2.tid
+        assert len(node.entities) == 3
+
+    def test_local_time_uses_clock(self):
+        env = Environment()
+        node = Node(env, "n1", "10.0.0.1", clock=NodeClock(skew=0.1))
+        env.run(until=1.0)
+        assert node.local_time() == pytest.approx(1.1)
+
+    def test_compute_queues_on_cpu(self):
+        env = Environment()
+        node = Node(env, "n1", "10.0.0.1", cpus=1)
+        finish_times = []
+
+        def job():
+            yield from node.compute(1.0)
+            finish_times.append(env.now)
+
+        env.process(job())
+        env.process(job())
+        env.run()
+        assert finish_times == [1.0, 2.0]
+
+    def test_tracing_overhead_zero_without_probe(self):
+        node = Node(Environment(), "n1", "10.0.0.1")
+        assert node.tracing_overhead(10) == 0.0
+
+    def test_probe_records_send_and_receive(self):
+        env = Environment()
+        node = Node(env, "n1", "10.0.0.1", clock=NodeClock(skew=0.5))
+        probe = TcpTraceProbe(node=node, overhead_per_activity=1e-5)
+        entity = node.new_process("httpd")
+        probe.log_send(entity, "10.0.0.1", 80, "10.9.0.1", 5000, 100, request_id=3)
+        probe.log_receive(entity, "10.9.0.1", 5000, "10.0.0.1", 80, 200)
+        assert probe.record_count() == 2
+        assert node.tracing_overhead(2) == pytest.approx(2e-5)
+        lines = probe.lines()
+        parsed = parse_record(lines[0])
+        assert parsed.direction == "SEND"
+        assert parsed.request_id == 3
+        assert parsed.timestamp == pytest.approx(0.5)  # local clock, skewed
+
+    def test_collector_gathers_per_node(self):
+        env = Environment()
+        collector = TraceCollector()
+        node_a = Node(env, "a", "10.0.0.1")
+        node_b = Node(env, "b", "10.0.0.2")
+        probe_a = collector.attach(node_a)
+        collector.attach(node_b)
+        entity = node_a.new_process("p")
+        probe_a.log_send(entity, "10.0.0.1", 1, "10.0.0.2", 2, 10)
+        assert collector.total_records() == 1
+        assert set(collector.records_by_node()) == {"a", "b"}
+        assert len(collector.all_records()) == 1
+
+
+class TestSegmentation:
+    def test_no_split_below_limit(self):
+        policy = SegmentationPolicy(sender_max_bytes=1000, receiver_max_bytes=700)
+        assert policy.sender_parts(500) == [500]
+
+    def test_split_preserves_total(self):
+        policy = SegmentationPolicy(sender_max_bytes=1000, receiver_max_bytes=700)
+        assert sum(policy.sender_parts(2500)) == 2500
+        assert sum(policy.receiver_parts(2500)) == 2500
+
+    def test_sender_and_receiver_boundaries_differ(self):
+        policy = SegmentationPolicy(sender_max_bytes=1000, receiver_max_bytes=700)
+        assert policy.sender_parts(2000) != policy.receiver_parts(2000)
+
+    def test_zero_size_message(self):
+        policy = SegmentationPolicy()
+        assert policy.sender_parts(0) == [0]
+
+
+class TestNetwork:
+    def test_transfer_delay_includes_bandwidth_term(self):
+        env = Environment()
+        fabric = NetworkFabric(env, base_latency=1e-3, bandwidth_bytes_per_s=1e6)
+        a = Node(env, "a", "10.0.0.1")
+        b = Node(env, "b", "10.0.0.2")
+        assert fabric.transfer_delay(a, b, 1_000_000) == pytest.approx(1.001)
+        assert fabric.transfer_delay(a, a, 1000) < 1e-4  # loopback
+
+    def test_degrade_node_slows_its_links(self):
+        env = Environment()
+        fabric = NetworkFabric(env)
+        a = Node(env, "a", "10.0.0.1")
+        b = Node(env, "b", "10.0.0.2")
+        before = fabric.transfer_delay(a, b, 10_000)
+        fabric.degrade_node("a", extra_latency=0.01, bandwidth_bytes_per_s=10e6 / 8)
+        after = fabric.transfer_delay(a, b, 10_000)
+        assert after > before
+
+    def test_connect_requires_listener(self):
+        env = Environment()
+        network = Network(env)
+        client = Node(env, "client", "10.9.0.1")
+        with pytest.raises(ConnectionRefusedError):
+            network.connect(client, "10.0.0.1", 80)
+
+    def test_duplicate_listener_rejected(self):
+        env = Environment()
+        network = Network(env)
+        server = Node(env, "server", "10.0.0.1")
+        network.listen(server, server.ip, 80)
+        with pytest.raises(ValueError):
+            network.listen(server, server.ip, 80)
+
+    def test_send_receive_logs_on_traced_nodes_only(self):
+        env = Environment()
+        network = Network(env, segmentation=SegmentationPolicy(sender_max_bytes=400, receiver_max_bytes=300))
+        server = Node(env, "server", "10.0.0.1")
+        client = Node(env, "client", "10.9.0.1")  # untraced
+        probe = TcpTraceProbe(node=server)
+        listener = network.listen(server, server.ip, 80)
+        connection = network.connect(client, server.ip, 80)
+        worker = server.new_process("httpd")
+        results = {}
+
+        def server_side():
+            endpoint = yield listener.accept()
+            message = yield from endpoint.wait_data()
+            endpoint.read(worker, message)
+            endpoint.send(worker, 1000, request_id=9)
+            results["received"] = message.size
+
+        def client_side():
+            connection.client.send(None, 1000, request_id=9)
+            reply = yield from connection.client.wait_data()
+            results["reply"] = reply.size
+
+        env.process(server_side())
+        env.process(client_side())
+        env.run()
+        assert results == {"received": 1000, "reply": 1000}
+        directions = [record.direction for record in probe.records]
+        # server logged its reads (receiver split: 300-byte parts) and its sends
+        assert directions.count("RECEIVE") == 4
+        assert directions.count("SEND") == 3
+        assert all(record.request_id == 9 for record in probe.records)
+
+    def test_message_identifier_uses_sender_first_convention(self):
+        env = Environment()
+        network = Network(env)
+        server = Node(env, "server", "10.0.0.1")
+        client = Node(env, "client", "10.9.0.1")
+        probe = TcpTraceProbe(node=server)
+        listener = network.listen(server, server.ip, 80)
+        connection = network.connect(client, server.ip, 80)
+        worker = server.new_process("httpd")
+
+        def server_side():
+            endpoint = yield listener.accept()
+            message = yield from endpoint.wait_data()
+            endpoint.read(worker, message)
+
+        env.process(server_side())
+        connection.client.send(None, 100)
+        env.run()
+        record = probe.records[0]
+        assert record.src_ip == "10.9.0.1"  # the sender appears first
+        assert record.dst_ip == "10.0.0.1"

@@ -1,0 +1,107 @@
+"""Tests for the PreciseTracer facade (raw logs in, analysis out)."""
+
+import pytest
+
+from helpers import SyntheticTrace, WEB
+from repro.core.log_format import FrontendSpec, format_record, RawRecord
+from repro.core.tracer import PreciseTracer
+
+
+def frontend():
+    return FrontendSpec(ip=WEB[1], port=80, internal_ips=frozenset({WEB[1], "10.1.0.2", "10.1.0.3"}))
+
+
+def raw_lines_from_trace(trace):
+    """Serialise synthetic activities into TCP_TRACE text lines."""
+    lines = []
+    for activity in trace.activities:
+        direction = "SEND" if activity.type.is_send_like else "RECEIVE"
+        record = RawRecord(
+            timestamp=activity.timestamp,
+            hostname=activity.context.hostname,
+            program=activity.context.program,
+            pid=activity.context.pid,
+            tid=activity.context.tid,
+            direction=direction,
+            src_ip=activity.message.src_ip,
+            src_port=activity.message.src_port,
+            dst_ip=activity.message.dst_ip,
+            dst_port=activity.message.dst_port,
+            size=activity.message.size,
+            request_id=activity.request_id,
+        )
+        lines.append(format_record(record))
+    return lines
+
+
+@pytest.fixture()
+def synthetic_trace():
+    trace = SyntheticTrace()
+    for index in range(5):
+        trace.three_tier_request(request_id=index + 1, start=index * 0.3, db_queries=2)
+    return trace
+
+
+class TestTraceEntrypoints:
+    def test_trace_lines_reconstructs_every_request(self, synthetic_trace):
+        tracer = PreciseTracer(frontends=[frontend()], window=0.01)
+        result = tracer.trace_lines(raw_lines_from_trace(synthetic_trace))
+        assert result.request_count == 5
+        assert result.accuracy(synthetic_trace.ground_truth).accuracy == 1.0
+
+    def test_trace_activities_equivalent_to_lines(self, synthetic_trace):
+        tracer = PreciseTracer(frontends=[frontend()], window=0.01)
+        from_lines = tracer.trace_lines(raw_lines_from_trace(synthetic_trace))
+        from_activities = tracer.trace_activities(list(synthetic_trace.activities))
+        assert from_lines.request_count == from_activities.request_count
+
+    def test_trace_node_logs(self, synthetic_trace):
+        tracer = PreciseTracer(frontends=[frontend()], window=0.01)
+        lines = raw_lines_from_trace(synthetic_trace)
+        by_node = {}
+        for line in lines:
+            hostname = line.split()[1]
+            by_node.setdefault(hostname, []).append(line)
+        result = tracer.trace_node_logs(by_node)
+        assert result.request_count == 5
+
+    def test_program_filter_counts_filtered_records(self, synthetic_trace):
+        lines = raw_lines_from_trace(synthetic_trace)
+        lines.append("1.0 web sshd 7 7 SEND 10.1.0.1:22-10.9.0.9:5555 80")
+        tracer = PreciseTracer(frontends=[frontend()], window=0.01, ignore_programs={"sshd"})
+        result = tracer.trace_lines(lines)
+        assert result.filtered_records == 1
+        assert result.request_count == 5
+
+
+class TestAnalysisHelpers:
+    def test_patterns_and_dominant(self, synthetic_trace):
+        tracer = PreciseTracer(frontends=[frontend()], window=0.01)
+        result = tracer.trace_activities(list(synthetic_trace.activities))
+        patterns = result.patterns()
+        assert patterns
+        assert result.dominant_pattern().count == patterns[0].count
+
+    def test_profile_and_breakdown(self, synthetic_trace):
+        tracer = PreciseTracer(frontends=[frontend()], window=0.01)
+        result = tracer.trace_activities(list(synthetic_trace.activities))
+        profile = result.profile("test")
+        assert profile.average_latency > 0
+        assert result.average_breakdown().total > 0
+
+    def test_summary_contains_counts(self, synthetic_trace):
+        tracer = PreciseTracer(frontends=[frontend()], window=0.01)
+        result = tracer.trace_activities(list(synthetic_trace.activities))
+        summary = result.summary()
+        assert summary["completed_requests"] == 5
+        assert "filtered_records" in summary
+
+    def test_incomplete_cags_exposed(self, synthetic_trace):
+        activities = [
+            a for a in synthetic_trace.activities
+            if not (a.request_id == 1 and a.type.name == "END")
+        ]
+        tracer = PreciseTracer(frontends=[frontend()], window=0.01)
+        result = tracer.trace_activities(activities)
+        assert result.request_count == 4
+        assert len(result.incomplete_cags) == 1
