@@ -54,6 +54,12 @@ from .core import (
     profile_series,
 )
 from .services import FaultConfig, NoiseConfig
+from .stream import (
+    FileTailSource,
+    IncrementalEngine,
+    ShardedCorrelator,
+    StreamingCorrelator,
+)
 from .services.rubis import (
     RubisConfig,
     RubisDeployment,
@@ -78,8 +84,10 @@ __all__ = [
     "Diagnosis",
     "Edge",
     "FaultConfig",
+    "FileTailSource",
     "FrontendSpec",
     "GroundTruthRequest",
+    "IncrementalEngine",
     "LatencyBreakdown",
     "LatencyProfile",
     "MessageId",
@@ -93,6 +101,8 @@ __all__ = [
     "RubisDeployment",
     "RubisRunResult",
     "SegmentChange",
+    "ShardedCorrelator",
+    "StreamingCorrelator",
     "TraceResult",
     "WorkloadStages",
     "__version__",

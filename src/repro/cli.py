@@ -11,8 +11,35 @@ Examples::
     # run one simulated experiment and print trace statistics
     precisetracer trace --clients 300 --window 0.01
 
+    # correlate online: simulate, then replay the logs incrementally
+    precisetracer stream --clients 150 --horizon 5
+
+    # correlate an existing TCP_TRACE log file (read once, incrementally)
+    precisetracer stream --input /var/log/tcp_trace.log --frontend 10.0.0.1:80
+
     # list the available figures
     precisetracer list
+
+Commands
+--------
+``list`` / ``figure`` / ``report``
+    Regenerate the paper's evaluation tables (Section 5).
+``trace``
+    Run one simulated experiment and batch-trace it (Fig. 2 pipeline).
+``stream``
+    The online pipeline (``repro.stream``): chunked ingestion ->
+    incremental correlation with watermark eviction -> CAGs emitted as
+    requests finish.  ``--horizon`` bounds engine state (seconds of
+    local time; state idle for longer is evicted -- pick a value above
+    the service's worst-case response time, see
+    ``IncrementalEngine.horizon``); ``--shards`` switches to the
+    sharded parallel driver instead (batch semantics per shard, so the
+    incremental-only knobs ``--horizon``/``--skew-bound``/``--chunk-size``
+    do not apply there).  ``--input`` reads a log file through the
+    chunked tail reader in one pass; to *follow* a file that is still
+    being written, loop :meth:`repro.FileTailSource.poll` from Python.
+``diagnose``
+    Rerun the Fig. 17 fault scenarios and print the implicated tiers.
 """
 
 from __future__ import annotations
@@ -75,6 +102,49 @@ def _build_parser() -> argparse.ArgumentParser:
         default="none",
     )
     trace_parser.add_argument("--seed", type=int, default=17)
+
+    stream_parser = subparsers.add_parser(
+        "stream",
+        help="correlate incrementally (online mode), from a simulation or a log file",
+    )
+    stream_parser.add_argument(
+        "--input",
+        default=None,
+        metavar="FILE",
+        help="TCP_TRACE log file to ingest (default: simulate a run first)",
+    )
+    stream_parser.add_argument(
+        "--frontend",
+        default=None,
+        metavar="IP:PORT",
+        help="frontend endpoint for BEGIN/END classification (required with --input)",
+    )
+    stream_parser.add_argument("--window", type=float, default=0.010)
+    stream_parser.add_argument(
+        "--horizon",
+        type=float,
+        default=5.0,
+        help="eviction horizon in seconds of trace time; 0 disables eviction",
+    )
+    stream_parser.add_argument(
+        "--skew-bound",
+        type=float,
+        default=0.005,
+        help="upper bound on node clock skew (delays emission, never changes output)",
+    )
+    stream_parser.add_argument("--chunk-size", type=int, default=256)
+    stream_parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help=(
+            "use the sharded parallel driver with up to N shards "
+            "(0 = incremental; --horizon/--skew-bound/--chunk-size do not apply)"
+        ),
+    )
+    stream_parser.add_argument("--clients", type=int, default=100)
+    stream_parser.add_argument("--runtime", type=float, default=6.0)
+    stream_parser.add_argument("--seed", type=int, default=17)
     return parser
 
 
@@ -116,6 +186,115 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_frontend(text: str) -> "FrontendSpec":
+    from .core.log_format import FrontendSpec
+
+    ip, sep, port_text = text.rpartition(":")
+    if not sep or not ip:
+        raise SystemExit(f"bad --frontend {text!r}, expected IP:PORT")
+    try:
+        return FrontendSpec(ip=ip, port=int(port_text))
+    except ValueError as exc:
+        raise SystemExit(f"bad --frontend {text!r}, expected IP:PORT") from exc
+
+
+def _command_stream(args: argparse.Namespace) -> int:
+    """Drive the online pipeline: chunked reader -> incremental engine."""
+    import time
+
+    from .core.log_format import format_record
+    from .stream import (
+        ActivityStream,
+        FileTailSource,
+        ShardedCorrelator,
+        StreamingCorrelator,
+    )
+
+    if args.chunk_size <= 0:
+        raise SystemExit("--chunk-size must be positive")
+    if args.window <= 0:
+        raise SystemExit("--window must be positive")
+    if args.skew_bound < 0:
+        raise SystemExit("--skew-bound must be non-negative")
+
+    run = None
+    if args.input:
+        if not args.frontend:
+            raise SystemExit("--input requires --frontend IP:PORT")
+        import os
+
+        if not os.path.exists(args.input):
+            raise SystemExit(f"--input file not found: {args.input}")
+        stream = ActivityStream(frontends=[_parse_frontend(args.frontend)])
+        tail = FileTailSource(args.input)
+        lines = tail.drain()
+    else:
+        config = RubisConfig(
+            clients=args.clients,
+            stages=WorkloadStages(up_ramp=1.0, runtime=args.runtime, down_ramp=0.5),
+            seed=args.seed,
+        )
+        print(f"== simulating {args.clients} clients for {args.runtime:.0f} s ==")
+        run = run_rubis(config)
+        print(f"requests completed      : {run.completed_requests}")
+        print(f"activities logged       : {run.total_activities}")
+        stream = ActivityStream(
+            frontends=[run.frontend_spec()], ignore_programs={"sshd", "rlogind"}
+        )
+        records = sorted(run.all_records(), key=lambda r: r.timestamp)
+        lines = [format_record(record) for record in records]
+
+    if args.shards > 0:
+        activities = stream.classify_lines(lines)
+        correlator = ShardedCorrelator(window=args.window, max_shards=args.shards)
+        result = correlator.correlate(activities)
+        finished = len(result.cags)
+        peak_pending = result.peak_state_entries + result.peak_buffered_activities
+        print(f"\n== sharded correlation ({len(correlator.last_shard_sizes)} shards) ==")
+    else:
+        # StreamingCorrelator sorts into global arrival order before
+        # chunking, which makes the command correct even for a
+        # per-node-concatenated input file (``cat web.log app.log``).
+        correlator = StreamingCorrelator(
+            window=args.window,
+            horizon=args.horizon if args.horizon > 0 else None,
+            skew_bound=args.skew_bound,
+            chunk_size=args.chunk_size,
+        )
+        engine = correlator.make_engine()
+        activities = stream.classify_lines(lines)
+        wall_start = time.perf_counter()
+        finished = sum(1 for _cag in correlator.correlate_iter(activities, engine=engine))
+        wall = time.perf_counter() - wall_start
+        result = engine.result()
+        peak_pending = result.peak_state_entries + result.peak_buffered_activities
+        print("\n== incremental correlation ==")
+        print(f"wall-clock ingestion    : {wall:.3f} s")
+
+    stats = result.engine_stats
+    evictions = (
+        stats.evicted_mmap_entries
+        + stats.evicted_cmap_entries
+        + stats.evicted_open_cags
+    )
+    print(f"activities ingested     : {result.total_activities}")
+    print(f"finished paths (CAGs)   : {finished}")
+    print(f"incomplete paths        : {len(result.incomplete_cags)}")
+    print(f"correlation time        : {result.correlation_time:.3f} s")
+    rate = result.total_activities / max(result.correlation_time, 1e-9)
+    print(f"correlation throughput  : {rate / 1e3:.1f} kact/s")
+    print(f"peak live entries       : {peak_pending}")
+    print(f"state evictions         : {evictions}")
+    if stream.malformed_lines:
+        print(f"malformed lines         : {stream.malformed_lines}")
+    if run is not None:
+        from .core.accuracy import path_accuracy
+
+        report = path_accuracy(result.cags, run.ground_truth)
+        print(f"path accuracy           : {report.accuracy * 100:.2f} %")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -147,6 +326,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "trace":
         return _command_trace(args)
+    if args.command == "stream":
+        return _command_stream(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -12,6 +12,16 @@ typed activities), performs the three steps of Section 4:
 and reports the resulting CAGs together with runtime statistics
 (correlation time, memory consumption, noise counters) that the
 evaluation section of the paper measures.
+
+The Correlator is strictly *offline*: it buffers every activity before
+the first CAG comes out, and its working set grows with the trace.  For
+online analysis of live logs -- CAGs emitted as requests finish, memory
+bounded by a watermark horizon, optional shard-parallel execution -- use
+the drop-in counterparts in :mod:`repro.stream`
+(:class:`~repro.stream.StreamingCorrelator`,
+:class:`~repro.stream.IncrementalEngine`,
+:class:`~repro.stream.ShardedCorrelator`).  With eviction disabled the
+streaming path produces byte-identical CAGs to this one.
 """
 
 from __future__ import annotations
@@ -76,7 +86,15 @@ class CorrelationResult:
 
 
 class Correlator:
-    """Offline correlator over a set of per-node activity streams."""
+    """Offline correlator over a set of per-node activity streams.
+
+    Entry points: :meth:`correlate` for a flat activity collection (any
+    order) and :meth:`correlate_streams` for per-node lists -- the shape
+    gathered log files naturally have.  Both return a
+    :class:`CorrelationResult`; the streaming counterpart
+    (:class:`repro.stream.StreamingCorrelator`) returns the same type, so
+    downstream analysis code never needs to know which path produced it.
+    """
 
     def __init__(self, window: float = 0.010, sample_interval: int = 256) -> None:
         """

@@ -42,6 +42,11 @@ class EngineStats:
     thread_reuse_blocked: int = 0
     oversized_receives: int = 0
     finished_cags: int = 0
+    # Watermark-based eviction counters (streaming mode only; the batch
+    # path never evicts).  See :meth:`CorrelationEngine.evict_stale`.
+    evicted_mmap_entries: int = 0
+    evicted_cmap_entries: int = 0
+    evicted_open_cags: int = 0
 
 
 class CorrelationEngine:
@@ -63,6 +68,9 @@ class CorrelationEngine:
         # while a *SEND* part is being merged (interleaved delivery): the
         # RECEIVE vertex is then completed from here.
         self._partial_receive: Dict[int, Activity] = {}
+        # CAGs dropped by watermark eviction (streaming mode); kept so the
+        # final accounting can still report them as incomplete paths.
+        self._evicted: List[CAG] = []
 
     # -- public API --------------------------------------------------------
 
@@ -75,6 +83,11 @@ class CorrelationEngine:
     def open_cags(self) -> List[CAG]:
         """CAGs still waiting for more activities (in-flight or deformed)."""
         return list(self._open.values())
+
+    @property
+    def evicted_cags(self) -> List[CAG]:
+        """CAGs dropped by :meth:`evict_stale` before their END arrived."""
+        return list(self._evicted)
 
     def pending_state_size(self) -> int:
         """Number of live bookkeeping entries (for memory accounting)."""
@@ -239,6 +252,53 @@ class CorrelationEngine:
                 # thread); do not splice the paths together.
                 self.stats.thread_reuse_blocked += 1
         self.cmap.update(current)
+
+    # -- watermark eviction (streaming mode) --------------------------------------
+
+    def evict_stale(self, before: float) -> int:
+        """Drop bookkeeping entries whose activity timestamps fell below
+        ``before`` (the stream watermark minus the configured horizon).
+
+        Three kinds of state are reclaimed:
+
+        * pending ``mmap`` SENDs -- their RECEIVE would have arrived by
+          now, so they can only capture unrelated traffic on a recycled
+          connection;
+        * ``cmap`` entries -- contexts idle for longer than the horizon
+          (e.g. worker threads of finished requests);
+        * open CAGs whose most recent activity is older than ``before`` --
+          requests that will never finish (lost END, crashed component).
+
+        The trade-off: a *live* request that stays idle for longer than
+        the horizon (e.g. a query stuck behind a lock for minutes) loses
+        its state and its remaining activities form a deformed path.
+        Choose a horizon comfortably above the service's worst-case
+        response time; ``None`` (in :class:`repro.stream.IncrementalEngine`)
+        disables eviction entirely and restores the batch path's exact
+        behaviour.  Returns the number of entries evicted and counts them
+        in :class:`EngineStats`.
+        """
+        evicted = 0
+        for send in self.mmap.evict_older_than(before):
+            self._partial_receive.pop(id(send), None)
+            self.stats.evicted_mmap_entries += 1
+            evicted += 1
+        cmap_evicted = self.cmap.evict_older_than(before)
+        self.stats.evicted_cmap_entries += cmap_evicted
+        evicted += cmap_evicted
+        for cag_id, cag in list(self._open.items()):
+            newest = max(vertex.timestamp for vertex in cag.vertices)
+            if newest < before:
+                self._open.pop(cag_id, None)
+                for vertex in cag.vertices:
+                    self._owner.pop(id(vertex), None)
+                    if vertex.type is ActivityType.SEND:
+                        self.mmap.remove(vertex)
+                        self._partial_receive.pop(id(vertex), None)
+                self._evicted.append(cag)
+                self.stats.evicted_open_cags += 1
+                evicted += 1
+        return evicted
 
     # -- internals ----------------------------------------------------------------
 

@@ -15,12 +15,21 @@ Both support the basic searching / inserting / deleting operations the
 paper lists.  ``MessageMap`` generalises the paper's single-value map to a
 FIFO of pending SENDs per connection so that pipelined messages on one
 persistent connection cannot clobber each other.
+
+For online (streaming) correlation both maps additionally support
+watermark-based eviction (:meth:`MessageMap.evict_older_than`,
+:meth:`ContextMap.evict_older_than`): entries whose activity timestamp
+fell behind the stream's watermark by more than the configured horizon
+are dropped, which keeps the maps bounded even when traffic contains
+flows that never complete (noise, crashed requests, abandoned
+connections).  See :class:`repro.stream.IncrementalEngine` for the knob
+and its accuracy trade-off.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Deque, Dict, Iterator, Optional, Tuple
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
 from .activity import Activity
 
@@ -87,6 +96,28 @@ class MessageMap:
         for queue in self._pending.values():
             yield from queue
 
+    def evict_older_than(self, before: float) -> List[Activity]:
+        """Drop pending SENDs whose timestamp is below ``before``.
+
+        Returns the evicted activities so the engine can clean up its own
+        per-SEND bookkeeping (partial receives, owner map).  Used by the
+        streaming path to bound memory: a SEND still pending long after
+        the watermark passed it will never be matched (its RECEIVE would
+        have arrived by now), so keeping it only wastes space and risks
+        capturing unrelated traffic on a recycled connection.
+        """
+        evicted: List[Activity] = []
+        for key in list(self._pending):
+            queue = self._pending[key]
+            kept = deque(send for send in queue if send.timestamp >= before)
+            if len(kept) != len(queue):
+                evicted.extend(send for send in queue if send.timestamp < before)
+                if kept:
+                    self._pending[key] = kept
+                else:
+                    del self._pending[key]
+        return evicted
+
     def clear(self) -> None:
         self._pending.clear()
 
@@ -116,6 +147,23 @@ class ContextMap:
 
     def remove(self, key: ContextKey) -> None:
         self._latest.pop(key, None)
+
+    def evict_older_than(self, before: float) -> int:
+        """Drop entries whose latest activity is older than ``before``.
+
+        An execution entity silent for longer than the eviction horizon
+        either finished its request long ago or died; its ``cmap`` entry
+        can only fabricate a wrong adjacent-context relation for a future
+        request on a recycled pid/tid.  Returns the eviction count.
+        """
+        stale = [
+            key
+            for key, activity in self._latest.items()
+            if activity.timestamp < before
+        ]
+        for key in stale:
+            del self._latest[key]
+        return len(stale)
 
     def items(self) -> Iterator[Tuple[ContextKey, Activity]]:
         return iter(self._latest.items())

@@ -143,6 +143,43 @@ def parse_log(lines: Iterable[str]) -> Iterator[RawRecord]:
         yield parse_record(stripped)
 
 
+class LineAssembler:
+    """Reassemble complete log lines from arbitrarily-chunked text.
+
+    Online ingestion (tailing a growing TCP_TRACE file, reading from a
+    socket) delivers text in chunks whose boundaries do not respect line
+    boundaries.  ``feed()`` buffers the trailing partial line and returns
+    only the lines that are known to be complete; ``flush()`` releases the
+    final unterminated line at end of stream.
+
+    Used by :class:`repro.stream.FileTailSource`.
+    """
+
+    def __init__(self) -> None:
+        self._tail: str = ""
+
+    def feed(self, chunk: str) -> List[str]:
+        """Absorb ``chunk`` and return every newly-completed line."""
+        if not chunk:
+            return []
+        buffered = self._tail + chunk
+        lines = buffered.split("\n")
+        self._tail = lines.pop()  # "" when the chunk ended on a newline
+        return lines
+
+    def flush(self) -> List[str]:
+        """Return the buffered partial line, if any (end of stream)."""
+        if not self._tail:
+            return []
+        line, self._tail = self._tail, ""
+        return [line]
+
+    @property
+    def pending(self) -> str:
+        """The currently-buffered partial line (for inspection/tests)."""
+        return self._tail
+
+
 @dataclass(frozen=True)
 class FrontendSpec:
     """Network-level description of the service's entry point.

@@ -30,6 +30,7 @@ Two disturbances are tolerated (Section 4.3):
 
 from __future__ import annotations
 
+import math
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -167,6 +168,14 @@ class Ranker:
             raise ValueError("the sliding time window must be positive")
         self._window = window
         self._mmap = mmap
+        # Delivery ceiling (local-timestamp watermark).  The batch ranker
+        # leaves it at +inf, which makes every check below a no-op.  The
+        # streaming ranker (repro.stream) lowers it to the highest local
+        # timestamp whose candidate-selection decisions can no longer be
+        # changed by activities that have not been ingested yet; ``rank()``
+        # then returns ``None`` ("stalled") instead of committing a
+        # decision it might have to take back.
+        self.ceiling: float = math.inf
         self._sources: Dict[str, ActivitySource] = {
             node: ActivitySource(node, activities)
             for node, activities in sources.items()
@@ -213,6 +222,7 @@ class Ranker:
         Fig. 6 -- promotes the blocking SEND within its queue, which is the
         paper's head swap generalised to arbitrary queue positions.
         """
+        streaming = self.ceiling != math.inf
         while True:
             self._refill()
             heads = self._heads()
@@ -220,12 +230,20 @@ class Ranker:
                 if self.exhausted():
                     return None
                 # Window too small to admit any activity: force progress by
-                # admitting the globally earliest unfetched activity.
-                self._force_fetch_one()
+                # admitting the globally earliest unfetched activity.  In
+                # streaming mode the earliest unfetched activity may sit
+                # above the ceiling; then stall instead.
+                if not self._force_fetch_one():
+                    return None
                 continue
+
+            if streaming and all(h.timestamp > self.ceiling for _, h in heads):
+                return None  # nothing decidable yet: wait for the watermark
 
             candidate = self._select_rule1(heads)
             if candidate is not None:
+                if candidate[1].timestamp > self.ceiling:
+                    return None
                 self.stats.rule1_selections += 1
                 return self._deliver(candidate)
 
@@ -240,13 +258,29 @@ class Ranker:
             ]
             if eligible:
                 choice = self._select_rule2(eligible)
+                if choice[1].timestamp > self.ceiling:
+                    return None
                 self.stats.rule2_selections += 1
                 return self._deliver(choice)
 
             # Every head is a RECEIVE blocked on an undelivered SEND:
-            # resolve the disturbance and try again.
-            if self._resolve_blockage(heads):
+            # resolve the disturbance and try again.  Only heads below the
+            # ceiling are acted on in streaming mode -- for newer heads the
+            # blocking SEND may not have been ingested yet.
+            resolvable = (
+                [(n, h) for n, h in heads if h.timestamp <= self.ceiling]
+                if streaming
+                else heads
+            )
+            if resolvable and self._resolve_blockage(resolvable):
                 continue
+
+            if streaming:
+                # The blocking SENDs have not been ingested yet; delivering
+                # the RECEIVEs now would misclassify them.  Stall until the
+                # sender's stream catches up (or until flush lifts the
+                # ceiling and the batch fallback below applies).
+                return None
 
             # Could not make progress (should not happen with well-formed
             # traces); fall back to plain Rule 2 so the ranker never stalls.
@@ -294,8 +328,13 @@ class Ranker:
             return None
         return min(candidates)
 
-    def _force_fetch_one(self) -> None:
-        """Admit the earliest unfetched activity when the window admits none."""
+    def _force_fetch_one(self) -> bool:
+        """Admit the earliest unfetched activity when the window admits none.
+
+        Returns ``False`` when nothing was admitted -- either every source
+        is drained, or (streaming mode) the earliest unfetched activity is
+        above the delivery ceiling and must wait for the watermark.
+        """
         best_node: Optional[str] = None
         best_ts: Optional[float] = None
         for node, source in self._sources.items():
@@ -305,14 +344,15 @@ class Ranker:
             if best_ts is None or ts < best_ts:
                 best_ts = ts
                 best_node = node
-        if best_node is None:
-            return
+        if best_node is None or best_ts is None or best_ts > self.ceiling:
+            return False
         activity = self._sources[best_node].take_one()
         if activity is not None:
             self._queues[best_node].append(activity)
             if activity.type.is_send_like:
                 self._buffered_send_keys[activity.message_key] += 1
             self.stats.max_buffered = max(self.stats.max_buffered, self.buffered_count())
+        return True
 
     # -- candidate selection ----------------------------------------------------
 
@@ -393,9 +433,16 @@ class Ranker:
 
     def _discard_noise(self, heads: Sequence[Tuple[str, Activity]]) -> bool:
         """Drop every head that is noise.  Returns True if anything was
-        discarded (the caller then restarts selection)."""
+        discarded (the caller then restarts selection).
+
+        Heads above the delivery ceiling are never discarded: their
+        matching SEND may simply not have been ingested yet, so the
+        ``is_noise`` verdict is not final until the watermark passes them.
+        """
         discarded = False
         for node, head in heads:
+            if head.timestamp > self.ceiling:
+                continue
             if head.type is ActivityType.RECEIVE and self.is_noise(head):
                 self._queues[node].popleft()
                 self.stats.noise_discarded += 1

@@ -20,8 +20,9 @@ from ..core.debugging import LatencyProfile, diagnose
 from ..services.faults import FaultConfig
 from ..services.noise import NoiseConfig
 from ..services.rubis.deployment import RubisConfig, RubisRunResult
+from ..stream import ShardedCorrelator
 from .config import ExperimentScale, default_scale
-from .runner import RunCache, get_run
+from .runner import RunCache, get_run, stream_trace
 
 
 @dataclass
@@ -492,6 +493,114 @@ def figure17_diagnosis(
 
 
 # ---------------------------------------------------------------------------
+# Extra: Fig. 11 / Fig. 12 rerun in streaming mode
+# ---------------------------------------------------------------------------
+
+#: Eviction horizon used by the streaming reruns, in seconds.  Far above
+#: any simulated response time, so accuracy is untouched; small enough to
+#: demonstrate bounded state on long runs.
+STREAMING_HORIZON = 5.0
+
+
+def figure11_streaming(
+    scale: Optional[ExperimentScale] = None, cache: Optional[RunCache] = None
+) -> FigureResult:
+    """Fig. 11 rerun in streaming mode: batch vs. incremental memory.
+
+    The batch correlator's working set holds the whole trace plus every
+    index-map entry it ever created; the incremental correlator keeps only
+    the in-window ranker buffer and the watermark-bounded engine state, so
+    its peak live-entry count stays roughly flat as the trace grows."""
+    scale = scale or default_scale()
+    result = FigureResult(
+        figure_id="fig11s",
+        title="Correlator memory: batch vs. streaming (watermark eviction)",
+        columns=[
+            "clients",
+            "window_s",
+            "batch_peak_entries",
+            "stream_peak_entries",
+            "stream_evictions",
+            "same_request_count",
+        ],
+        notes=f"streaming horizon = {STREAMING_HORIZON} s",
+    )
+    for clients in scale.window_clients:
+        run = get_run(_base_config(scale, clients=clients), cache)
+        for window in scale.windows:
+            batch = run.trace(window=window)
+            stream = stream_trace(run, window=window, horizon=STREAMING_HORIZON)
+            stats = stream.correlation.engine_stats
+            evictions = (
+                stats.evicted_mmap_entries
+                + stats.evicted_cmap_entries
+                + stats.evicted_open_cags
+            )
+            result.rows.append(
+                {
+                    "clients": clients,
+                    "window_s": window,
+                    "batch_peak_entries": batch.correlation.peak_buffered_activities
+                    + batch.correlation.peak_state_entries,
+                    "stream_peak_entries": stream.correlation.peak_buffered_activities
+                    + stream.correlation.peak_state_entries,
+                    "stream_evictions": evictions,
+                    # count equality only -- full CAG identity is asserted
+                    # structurally by tests/test_stream.py
+                    "same_request_count": stream.request_count == batch.request_count,
+                }
+            )
+    return result
+
+
+def figure12_streaming(
+    scale: Optional[ExperimentScale] = None, cache: Optional[RunCache] = None
+) -> FigureResult:
+    """Fig. 12 companion: correlation throughput of the three drivers.
+
+    Where Fig. 12 measures the *instrumentation* overhead on the traced
+    service, this table measures the *analysis* side: how many logged
+    activities per second the batch, streaming and sharded correlators
+    sustain, i.e. how much live traffic an online deployment could keep
+    up with."""
+    scale = scale or default_scale()
+    result = FigureResult(
+        figure_id="fig12s",
+        title="Correlation throughput: batch vs. streaming vs. sharded",
+        columns=[
+            "clients",
+            "activities",
+            "batch_kact_s",
+            "stream_kact_s",
+            "sharded_kact_s",
+            "shards",
+        ],
+    )
+
+    def _rate(activities: int, seconds: float) -> float:
+        return round(activities / max(seconds, 1e-9) / 1e3, 1)
+
+    for clients in scale.client_series:
+        run = get_run(_base_config(scale, clients=clients), cache)
+        batch = run.trace(window=scale.window)
+        stream = stream_trace(run, window=scale.window, horizon=STREAMING_HORIZON)
+        sharder = ShardedCorrelator(window=scale.window)
+        sharded = sharder.correlate(run.activities())
+        total = run.total_activities
+        result.rows.append(
+            {
+                "clients": clients,
+                "activities": total,
+                "batch_kact_s": _rate(total, batch.correlation_time),
+                "stream_kact_s": _rate(total, stream.correlation_time),
+                "sharded_kact_s": _rate(total, sharded.correlation_time),
+                "shards": len(sharder.last_shard_sizes),
+            }
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Extra: probabilistic-baseline comparison
 # ---------------------------------------------------------------------------
 
@@ -535,7 +644,9 @@ ALL_FIGURES = {
     "fig9": figure9,
     "fig10": figure10,
     "fig11": figure11,
+    "fig11s": figure11_streaming,
     "fig12": figure12,
+    "fig12s": figure12_streaming,
     "fig13": figure13,
     "fig14": figure14,
     "fig15": figure15,

@@ -5,6 +5,12 @@ need the Browse_Only client sweep, Fig. 10 and Fig. 11 both need the
 window-sweep runs).  :class:`RunCache` memoises completed runs keyed by
 their configuration so a full figure suite performs each distinct
 simulation exactly once per process.
+
+:func:`stream_trace` is the streaming counterpart of
+:meth:`RubisRunResult.trace`: it replays a completed run's logs through
+the incremental correlator (``repro.stream``) so the memory (Fig. 11) and
+throughput (Fig. 12) evaluations can be rerun in streaming mode and
+compared against the batch numbers.
 """
 
 from __future__ import annotations
@@ -12,7 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..core.tracer import TraceResult
 from ..services.rubis.deployment import RubisConfig, RubisRunResult, run_rubis
+from ..stream import ShardedCorrelator, StreamingCorrelator
 
 
 def config_key(config: RubisConfig) -> str:
@@ -62,3 +70,44 @@ def get_run(config: RubisConfig, cache: Optional[RunCache] = None) -> RubisRunRe
     """Fetch (or execute) the run for ``config`` using the shared cache."""
     target = cache if cache is not None else SHARED_CACHE
     return target.get(config)
+
+
+def stream_trace(
+    run: RubisRunResult,
+    window: float = 0.010,
+    horizon: Optional[float] = None,
+    chunk_size: int = 256,
+    skew_bound: Optional[float] = None,
+) -> TraceResult:
+    """Trace a completed run through the *streaming* correlator.
+
+    The run's logs are re-classified into fresh activities (the engine
+    mutates byte counters in place, so batch and streaming passes must
+    never share ``Activity`` objects) and replayed in global timestamp
+    order -- the arrival order of an online feed.  Returns the same
+    :class:`~repro.core.tracer.TraceResult` as :meth:`RubisRunResult.trace`,
+    so every analysis helper (patterns, profiles, accuracy) applies
+    unchanged to the streaming output.
+    """
+    if skew_bound is None:
+        skew_bound = max(run.config.clock_skew * 2.0, 1e-4)
+    correlator = StreamingCorrelator(
+        window=window,
+        horizon=horizon,
+        skew_bound=skew_bound,
+        chunk_size=chunk_size,
+    )
+    return TraceResult(correlation=correlator.correlate(run.activities()))
+
+
+def sharded_trace(
+    run: RubisRunResult,
+    window: float = 0.010,
+    max_workers: Optional[int] = None,
+    max_shards: Optional[int] = None,
+) -> TraceResult:
+    """Trace a completed run through the sharded parallel correlator."""
+    correlator = ShardedCorrelator(
+        window=window, max_workers=max_workers, max_shards=max_shards
+    )
+    return TraceResult(correlation=correlator.correlate(run.activities()))

@@ -1,0 +1,56 @@
+"""Streaming correlation subsystem: online, bounded-memory, shardable.
+
+The batch pipeline (``repro.core``) reads a complete trace and correlates
+it once.  This package is its online counterpart, the seam every scaling
+direction (async ingestion, multi-backend storage, distributed sharding)
+builds on:
+
+==========================  ==================================================
+:class:`IncrementalEngine`  push-interface engine: ingest activity chunks,
+                            emit each CAG the moment its END correlates,
+                            evict stale state past a watermark horizon
+:class:`StreamingCorrelator`  one-shot streaming drive with the same
+                            ``correlate()`` shape as the batch Correlator
+:class:`StreamingRanker`    watermark-gated candidate selection over
+                            growing per-node sources
+:class:`ShardedCorrelator`  partition a trace into causally-closed shards
+                            (union-find over context/connection keys) and
+                            correlate them in parallel
+:class:`FileTailSource`     ``tail -f``-style chunked log file reader
+:class:`IteratorSource`     chunked reader over any line iterable
+:class:`ActivityStream`     raw line -> typed activity classification step
+==========================  ==================================================
+
+Equivalence guarantee: with eviction disabled (``horizon=None``) the
+streaming path produces exactly the same finished CAGs -- same edge
+multisets, same ranked latency report -- as the batch path; with a finite
+horizon, only requests idle longer than the horizon can differ.  See
+``docs/architecture.md`` and ``tests/test_stream.py``.
+"""
+
+from .incremental import IncrementalEngine, StreamingCorrelator
+from .ranker import GrowingSource, StreamingRanker
+from .reader import ActivityStream, FileTailSource, IteratorSource, iter_chunks
+from .sharded import (
+    ShardedCorrelator,
+    merge_engine_stats,
+    merge_ranker_stats,
+    merge_results,
+    partition_activities,
+)
+
+__all__ = [
+    "ActivityStream",
+    "FileTailSource",
+    "GrowingSource",
+    "IncrementalEngine",
+    "IteratorSource",
+    "ShardedCorrelator",
+    "StreamingCorrelator",
+    "StreamingRanker",
+    "iter_chunks",
+    "merge_engine_stats",
+    "merge_ranker_stats",
+    "merge_results",
+    "partition_activities",
+]

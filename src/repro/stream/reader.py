@@ -1,0 +1,184 @@
+"""Chunked log ingestion for the streaming pipeline.
+
+The batch path reads whole log files into memory before correlating.
+Online tracing instead consumes logs *as they grow*; this module provides
+the ingestion side of that pipeline:
+
+* :func:`iter_chunks` -- batch any iterable into fixed-size lists;
+* :class:`IteratorSource` -- adapt an iterable of TCP_TRACE lines (a
+  file object, a socket reader, a generator) into activity chunks;
+* :class:`FileTailSource` -- follow a growing log file on disk,
+  remembering the read offset and reassembling lines across chunk
+  boundaries (``tail -f`` semantics, without inotify dependencies);
+* :class:`ActivityStream` -- the shared raw-line -> typed-activity step
+  (parse + BEGIN/END classification + attribute noise filter), built on
+  :class:`repro.core.log_format.ActivityClassifier`.
+
+Every source yields lists of :class:`~repro.core.activity.Activity` ready
+to be pushed into :class:`repro.stream.IncrementalEngine.ingest`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, List, Optional, Sequence, TypeVar
+
+from ..core.activity import Activity
+from ..core.log_format import (
+    ActivityClassifier,
+    FrontendSpec,
+    LineAssembler,
+    LogFormatError,
+    parse_record,
+)
+
+T = TypeVar("T")
+
+
+def iter_chunks(items: Iterable[T], chunk_size: int) -> Iterator[List[T]]:
+    """Yield successive lists of at most ``chunk_size`` items."""
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    chunk: List[T] = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+class ActivityStream:
+    """Convert raw TCP_TRACE lines into typed activities, incrementally.
+
+    A thin stateful wrapper over :class:`ActivityClassifier` that also
+    tolerates malformed lines (counted, not fatal -- a live log being
+    written while we read it can always hand us a torn or corrupt line).
+    """
+
+    def __init__(
+        self,
+        frontends: Sequence[FrontendSpec],
+        ignore_programs: Optional[set] = None,
+        ignore_ports: Optional[set] = None,
+        ignore_ips: Optional[set] = None,
+    ) -> None:
+        self.classifier = ActivityClassifier(
+            frontends=list(frontends),
+            ignore_programs=set(ignore_programs or ()),
+            ignore_ports=set(ignore_ports or ()),
+            ignore_ips=set(ignore_ips or ()),
+        )
+        self.malformed_lines = 0
+
+    @property
+    def filtered_records(self) -> int:
+        """Records dropped by the attribute-based noise filter."""
+        return self.classifier.filtered_count
+
+    def classify_lines(self, lines: Iterable[str]) -> List[Activity]:
+        """Parse and classify a batch of lines into activities."""
+        activities: List[Activity] = []
+        for line in lines:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                record = parse_record(stripped)
+            except LogFormatError:
+                self.malformed_lines += 1
+                continue
+            activity = self.classifier.classify(record)
+            if activity is not None:
+                activities.append(activity)
+        return activities
+
+
+class IteratorSource:
+    """Chunked activity source over any iterable of log lines."""
+
+    def __init__(
+        self,
+        lines: Iterable[str],
+        stream: ActivityStream,
+        chunk_size: int = 256,
+    ) -> None:
+        self._lines = lines
+        self._stream = stream
+        self._chunk_size = chunk_size
+
+    def __iter__(self) -> Iterator[List[Activity]]:
+        for chunk in iter_chunks(self._lines, self._chunk_size):
+            activities = self._stream.classify_lines(chunk)
+            if activities:
+                yield activities
+
+
+class FileTailSource:
+    """Incrementally read a (possibly still growing) TCP_TRACE log file.
+
+    ``poll()`` reads whatever bytes were appended since the last call and
+    returns the completed lines; a trailing partial line stays buffered in
+    a :class:`LineAssembler` until its newline arrives.  ``drain()``
+    additionally flushes that final unterminated line -- call it once the
+    writer is known to be done.
+
+    The source is deliberately dependency-free (no inotify): the caller
+    decides the polling cadence, which keeps it usable inside simulations
+    and tests as well as against real files.
+    """
+
+    def __init__(self, path: str, chunk_bytes: int = 64 * 1024) -> None:
+        if chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        self.path = path
+        self.chunk_bytes = chunk_bytes
+        self.offset = 0  # byte offset into the file
+        self._assembler = LineAssembler()
+        self._decoder = self._new_decoder()
+
+    @staticmethod
+    def _new_decoder():
+        # Incremental decoder: a poll() that ends mid multi-byte UTF-8
+        # sequence keeps the partial bytes buffered instead of emitting
+        # replacement characters and corrupting the record.
+        import codecs
+
+        return codecs.getincrementaldecoder("utf-8")("replace")
+
+    def poll(self) -> List[str]:
+        """Read newly-appended data; return the newly-completed lines."""
+        lines: List[str] = []
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return lines  # not created yet
+        if size < self.offset:
+            # The file shrank: it was rotated/truncated under us
+            # (copytruncate).  Restart from the top; the partial line and
+            # partial character buffered from the old incarnation are
+            # gone with it.
+            self.offset = 0
+            self._assembler = LineAssembler()
+            self._decoder = self._new_decoder()
+        if size == self.offset:
+            return lines
+        with open(self.path, "rb") as handle:
+            handle.seek(self.offset)
+            while True:
+                chunk = handle.read(self.chunk_bytes)
+                if not chunk:
+                    break
+                lines.extend(self._assembler.feed(self._decoder.decode(chunk)))
+            self.offset = handle.tell()
+        return lines
+
+    def drain(self) -> List[str]:
+        """Final poll plus the buffered partial line (end of stream)."""
+        lines = self.poll()
+        tail = self._decoder.decode(b"", final=True)
+        if tail:
+            lines.extend(self._assembler.feed(tail))
+        lines.extend(self._assembler.flush())
+        return lines

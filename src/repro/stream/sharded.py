@@ -1,0 +1,224 @@
+"""Sharded correlation: partition the trace, correlate shards in parallel.
+
+Correlation decisions only ever relate activities through two keys: the
+*context identifier* (adjacent-context edges, ``cmap``) and the
+*connection 4-tuple* (message edges, ``mmap``).  Treating both key kinds
+as nodes of one graph -- with an edge between an activity's context key
+and its connection key -- the connected components of that graph are
+exactly the finest partition of the trace that is **causally closed**: no
+context or message relation can cross a component boundary.  Each
+component can therefore be correlated completely independently, and the
+union of the per-shard results is *identical* to the batch result.
+
+:func:`partition_activities` computes those components with a union-find
+pass, then folds them into at most ``max_shards`` shard buckets;
+:class:`ShardedCorrelator` correlates the shards concurrently with
+``concurrent.futures`` and merges CAGs, statistics and the ranked latency
+report back into one :class:`~repro.core.correlator.CorrelationResult`.
+
+Two practical notes:
+
+* Shard count is workload-dependent.  Components merge whenever requests
+  share an execution entity or a connection, so a service with heavily
+  recycled worker pools and persistent connections may collapse into few
+  components (in the degenerate case, one -- then sharding gracefully
+  reduces to the batch path, still correct, just not parallel).  Client
+  churn, per-request connections and multi-frontend deployments shard
+  well.
+* Workers are threads, not processes: shards share the Python runtime,
+  so the speed-up on CPython is bounded by the GIL for pure-Python work,
+  but the partitioning itself is the architectural seam a distributed
+  driver would use to place shards on different machines.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import fields
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.activity import Activity, sort_key
+from ..core.correlator import CorrelationResult, Correlator
+from ..core.engine import EngineStats
+from ..core.ranker import RankerStats
+
+
+class _UnionFind:
+    """Union-find over arbitrary hashable keys (path halving + rank)."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+
+    def find(self, key: Hashable) -> Hashable:
+        parent = self._parent.setdefault(key, key)
+        if parent == key:
+            self._rank.setdefault(key, 0)
+            return key
+        root = key
+        while self._parent[root] != root:
+            self._parent[root] = self._parent[self._parent[root]]
+            root = self._parent[root]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+
+
+def partition_activities(
+    activities: Iterable[Activity],
+    max_shards: Optional[int] = None,
+) -> List[List[Activity]]:
+    """Split a trace into causally-closed shards.
+
+    Each activity links its context key and its (undirected) connection
+    key in a union-find; activities in the same connected component land
+    in the same shard, preserving their original relative order.  With
+    ``max_shards`` set, components are folded round-robin (in order of
+    each component's earliest activity) into that many buckets, which
+    balances bucket sizes and keeps the causal-closure property (a
+    bucket is a union of components).  Bucket assignment is
+    deterministic for a given trace but not stable across traces --
+    adding or removing a component may shift later components' buckets.
+    """
+    uf = _UnionFind()
+    ordered = list(activities)
+    for activity in ordered:
+        uf.union(
+            ("ctx", activity.context_key),
+            ("conn", activity.message.undirected_key()),
+        )
+
+    by_component: Dict[Hashable, List[Activity]] = {}
+    for activity in ordered:
+        root = uf.find(("ctx", activity.context_key))
+        by_component.setdefault(root, []).append(activity)
+
+    components = list(by_component.values())
+    if max_shards is None or max_shards <= 0 or len(components) <= max_shards:
+        return components
+
+    buckets: List[List[Activity]] = [[] for _ in range(max_shards)]
+    for index, component in enumerate(
+        sorted(components, key=lambda c: sort_key(c[0]))
+    ):
+        buckets[index % max_shards].extend(component)
+    return [bucket for bucket in buckets if bucket]
+
+
+def _sum_stats(cls, parts):
+    """Field-wise sum of same-typed stats dataclasses."""
+    merged = cls()
+    for part in parts:
+        for f in fields(cls):
+            setattr(merged, f.name, getattr(merged, f.name) + getattr(part, f.name))
+    return merged
+
+
+def merge_engine_stats(parts: Sequence[EngineStats]) -> EngineStats:
+    """Sum per-shard engine counters into one report."""
+    return _sum_stats(EngineStats, parts)
+
+
+def merge_ranker_stats(parts: Sequence[RankerStats]) -> RankerStats:
+    """Combine per-shard ranker counters (sums; ``max_buffered`` is the
+    concurrent worst case, so shard maxima are *summed* too -- every shard
+    may sit at its peak at the same instant)."""
+    return _sum_stats(RankerStats, parts)
+
+
+def merge_results(
+    parts: Sequence[CorrelationResult],
+    window: float,
+    elapsed: float,
+    total_activities: int,
+) -> CorrelationResult:
+    """Merge per-shard correlation results into one batch-shaped result.
+
+    CAGs are re-ranked by their BEGIN timestamp so the merged report is
+    deterministic regardless of shard completion order.  Peak memory
+    numbers are summed across shards: with all shards resident at once
+    (the parallel driver's situation) that is the honest working-set
+    bound.
+    """
+    cags = sorted(
+        (cag for part in parts for cag in part.cags),
+        key=lambda cag: (cag.begin_timestamp, cag.root.seq),
+    )
+    incomplete = sorted(
+        (cag for part in parts for cag in part.incomplete_cags),
+        key=lambda cag: (cag.begin_timestamp, cag.root.seq),
+    )
+    return CorrelationResult(
+        cags=cags,
+        incomplete_cags=incomplete,
+        correlation_time=elapsed,
+        peak_buffered_activities=sum(p.peak_buffered_activities for p in parts),
+        peak_state_entries=sum(p.peak_state_entries for p in parts),
+        ranker_stats=merge_ranker_stats([p.ranker_stats for p in parts]),
+        engine_stats=merge_engine_stats([p.engine_stats for p in parts]),
+        window=window,
+        total_activities=total_activities,
+    )
+
+
+class ShardedCorrelator:
+    """Partition a trace into causally-closed shards and correlate them
+    concurrently.
+
+    Parameters
+    ----------
+    window:
+        Sliding-time-window size in seconds (per shard, identical
+        semantics to the batch correlator).
+    max_workers:
+        Thread-pool size for shard correlation (default: executor's own
+        heuristic).
+    max_shards:
+        Upper bound on shard count; components are folded together above
+        it.  ``None`` keeps one shard per connected component.
+    """
+
+    def __init__(
+        self,
+        window: float = 0.010,
+        max_workers: Optional[int] = None,
+        max_shards: Optional[int] = None,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.max_workers = max_workers
+        self.max_shards = max_shards
+        #: shard sizes of the last ``correlate`` call (for reporting)
+        self.last_shard_sizes: List[int] = []
+
+    def correlate(self, activities: Iterable[Activity]) -> CorrelationResult:
+        """Correlate a flat activity collection shard-parallel."""
+        ordered = list(activities)
+        start = time.perf_counter()
+        shards = partition_activities(ordered, max_shards=self.max_shards)
+        self.last_shard_sizes = [len(shard) for shard in shards]
+        if not shards:
+            return Correlator(window=self.window).correlate([])
+        if len(shards) == 1:
+            part = Correlator(window=self.window).correlate(shards[0])
+            elapsed = time.perf_counter() - start
+            return merge_results([part], self.window, elapsed, len(ordered))
+        with ThreadPoolExecutor(max_workers=self.max_workers) as executor:
+            parts = list(
+                executor.map(
+                    lambda shard: Correlator(window=self.window).correlate(shard),
+                    shards,
+                )
+            )
+        elapsed = time.perf_counter() - start
+        return merge_results(parts, self.window, elapsed, len(ordered))

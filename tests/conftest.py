@@ -13,23 +13,9 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from repro.services.rubis.client import WorkloadStages
-from repro.services.rubis.deployment import RubisConfig, run_rubis
+from repro.services.rubis.deployment import run_rubis
 
-
-TINY_STAGES = WorkloadStages(up_ramp=0.5, runtime=4.0, down_ramp=0.5)
-
-
-def tiny_config(**overrides) -> RubisConfig:
-    """A small, fast experiment configuration for integration tests."""
-    base = RubisConfig(
-        clients=30,
-        stages=TINY_STAGES,
-        clock_skew=0.001,
-        think_time=3.0,
-        seed=42,
-    )
-    return base.with_overrides(**overrides) if overrides else base
+from helpers import TINY_STAGES, tiny_config  # noqa: F401  (re-exported for fixtures)
 
 
 @pytest.fixture(scope="session")

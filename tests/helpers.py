@@ -15,6 +15,30 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.accuracy import GroundTruthRequest
 from repro.core.activity import Activity, ActivityType, ContextId, MessageId
+from repro.services.rubis.client import WorkloadStages
+from repro.services.rubis.deployment import RubisConfig
+
+#: Stage durations shared by the fast integration fixtures.
+TINY_STAGES = WorkloadStages(up_ramp=0.5, runtime=4.0, down_ramp=0.5)
+
+
+def tiny_config(**overrides) -> RubisConfig:
+    """A small, fast experiment configuration for integration tests.
+
+    Lives here (not in ``conftest.py``) so test modules can import it
+    explicitly with ``from helpers import tiny_config``: importing from
+    ``conftest`` is ambiguous when pytest's rootdir puts another
+    ``conftest.py`` (e.g. ``benchmarks/``) on ``sys.path`` first.
+    """
+    base = RubisConfig(
+        clients=30,
+        stages=TINY_STAGES,
+        clock_skew=0.001,
+        think_time=3.0,
+        seed=42,
+    )
+    return base.with_overrides(**overrides) if overrides else base
+
 
 WEB = ("web", "10.1.0.1", "httpd")
 APP = ("app", "10.1.0.2", "java")

@@ -51,6 +51,55 @@ class TestCli:
         output = capsys.readouterr().out
         assert "causal paths" in output
 
+    def test_stream_command_correlates_incrementally(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--clients",
+                "12",
+                "--runtime",
+                "3",
+                "--seed",
+                "9",
+                "--horizon",
+                "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "incremental correlation" in output
+        assert "finished paths" in output
+        assert "100.00 %" in output
+
+    def test_stream_command_sharded_mode(self, capsys):
+        code = main(
+            ["stream", "--clients", "10", "--runtime", "3", "--seed", "9", "--shards", "2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "sharded correlation" in output
+        assert "100.00 %" in output
+
+    def test_stream_command_reads_a_log_file(self, tmp_path, capsys, tiny_run):
+        from repro.core.log_format import format_record
+
+        path = tmp_path / "trace.log"
+        records = sorted(tiny_run.all_records(), key=lambda r: r.timestamp)
+        path.write_text(
+            "\n".join(format_record(record) for record in records) + "\n",
+            encoding="utf-8",
+        )
+        code = main(
+            ["stream", "--input", str(path), "--frontend", "10.0.0.1:80"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "finished paths" in output
+
+    def test_stream_input_requires_frontend(self):
+        with pytest.raises(SystemExit):
+            main(["stream", "--input", "/tmp/nope.log"])
+
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure", "fig99"])

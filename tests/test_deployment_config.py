@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import tiny_config
+from helpers import tiny_config
 from repro.core.log_format import format_record, parse_record
 from repro.services.rubis.deployment import (
     APP_IP,

@@ -100,6 +100,14 @@ class TestCorrelationProperties:
         """The paper's central claim: correct causal paths for any positive
         window size and any bounded clock skew."""
         trace = SyntheticTrace(skews={"app": skew, "db": -skew})
+        # Contexts rotate mod 3, so requests i and i+3 share a worker.  An
+        # execution entity serves one request at a time (the paper's model;
+        # no tracer can untangle two requests interleaved in one thread),
+        # so pick the intra-request step small enough that a request ends
+        # before the same worker's next one begins, while still letting
+        # requests in *different* contexts overlap freely.
+        duration_steps = 6 + 4 * queries
+        step = min(0.001, 3 * spacing / duration_steps * 0.9)
         for index in range(requests):
             trace.three_tier_request(
                 request_id=index + 1,
@@ -108,6 +116,7 @@ class TestCorrelationProperties:
                 app_tid=200 + index % 3,
                 db_tid=300 + index % 3,
                 db_queries=queries,
+                step=step,
             )
         result = Correlator(window=window).correlate(trace.activities)
         report = path_accuracy(result.cags, trace.ground_truth)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import tiny_config
+from helpers import tiny_config
 from repro.core.activity import ActivityType
 from repro.services.faults import FaultConfig
 from repro.services.noise import NoiseConfig
