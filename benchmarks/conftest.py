@@ -7,14 +7,37 @@ reuse the same experiment (e.g. Fig. 8 and Fig. 9) only pay for it once.
 
 Scale is controlled by the ``REPRO_SCALE`` environment variable
 (``small`` by default, ``full`` for the paper-sized grids).
+
+Everything in this directory is marked ``slow``: the default test run
+(``pytest -x -q``, see ``pytest.ini``) deselects it so the tier-1 suite
+stays fast, and CI runs the benchmarks in a dedicated job with
+``-m slow`` that also uploads the ``BENCH_*.json`` performance-trajectory
+files written by :func:`emit_bench`.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
+from repro.experiments.bench import write_bench_result
 from repro.experiments.config import default_scale
+from repro.experiments.figures import FigureResult
 from repro.experiments.runner import RunCache
+
+_BENCH_ROOT = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark every test collected from this directory as ``slow``."""
+    for item in items:
+        try:
+            in_benchmarks = Path(str(item.fspath)).resolve().is_relative_to(_BENCH_ROOT)
+        except (OSError, ValueError):  # pragma: no cover - exotic collectors
+            in_benchmarks = False
+        if in_benchmarks:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")
@@ -30,3 +53,13 @@ def cache():
 def run_once(benchmark, func):
     """Run a figure generator exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def emit_bench(result: FigureResult) -> Path:
+    """Write the figure's ``BENCH_*.json`` performance-trajectory file.
+
+    Output lands in ``$REPRO_BENCH_DIR`` (default ``./bench_results``);
+    CI uploads the files as artifacts so every run extends the recorded
+    perf trajectory.
+    """
+    return write_bench_result(result, label="benchmark suite")

@@ -2,14 +2,20 @@
 
 Paper shape: the Correlator's running time grows linearly with the number
 of requests processed (window fixed at 10 ms).
+
+This is the repository's headline perf benchmark: besides the shape
+assertions it emits ``BENCH_fig9.json`` so successive PRs leave a
+machine-comparable performance trajectory (compare against the committed
+baseline with ``repro profile --baseline benchmarks/baselines/...``).
 """
 
-from conftest import run_once
+from conftest import emit_bench, run_once
 from repro.experiments.figures import figure9
 
 
 def test_bench_fig09_correlation_time(benchmark, scale, cache):
     result = run_once(benchmark, lambda: figure9(scale, cache))
+    emit_bench(result)
     requests = result.column("requests")
     times = result.column("correlation_time_s")
     assert all(value > 0 for value in times)

@@ -1,11 +1,17 @@
 """Fig. 10 -- correlation time vs. sliding-time-window size.
 
-Paper shape: for a fixed workload the correlation time grows with the
-size of the sliding time window, because a larger window keeps many more
-activities buffered per step.  The same trend appears here: the largest
-window costs several times more correlation time than the smallest, while
-the reconstructed paths stay identical (window independence of the
-results is covered by the accuracy benchmarks and tests).
+Paper shape: for a fixed workload the correlation time *grows* with the
+size of the sliding time window, because every candidate-selection step
+of the 2009 implementation rescans the (window-sized) ranker buffer.
+
+This reproduction used to show the same trend, but the indexed ranker
+(global future-send registry, buffered-send index, cached window low
+edge -- see ``repro.core.ranker``) made the per-candidate cost
+independent of how much the window buffers: only the *memory* cost still
+grows with the window (asserted by the Fig. 11 benchmark).  What this
+benchmark now pins down is exactly that improvement -- sweeping the
+window across four orders of magnitude must leave the correlation time
+within a small constant factor, instead of the paper's blow-up.
 """
 
 from conftest import run_once
@@ -17,18 +23,18 @@ def test_bench_fig10_window_sweep(benchmark, scale, cache):
     assert len(result.rows) == len(scale.window_clients) * len(scale.windows)
     assert all(row["correlation_time_s"] > 0 for row in result.rows)
 
-    smallest = min(scale.windows)
-    largest = max(scale.windows)
+    # The indexed ranker keeps the per-candidate cost O(1) in the buffer
+    # size: across the whole window sweep the correlation time for one
+    # client count must stay within a small constant factor, with no
+    # blow-up toward the large windows of the paper's Fig. 10.  The
+    # observed spread is ~1.4x; the 5x bound plus an absolute floor on
+    # the denominator leaves room for scheduler noise on shared CI
+    # runners without re-admitting the old superlinear shape.
     for clients in scale.window_clients:
-        rows = {row["window_s"]: row for row in result.rows if row["clients"] == clients}
-        # growing the window by several orders of magnitude costs more
-        # correlation time (the paper's Fig. 10 trend); allow equality with
-        # a small absolute slack for the tiniest workloads.
-        assert (
-            rows[largest]["correlation_time_s"]
-            >= 0.9 * rows[smallest]["correlation_time_s"]
-        )
-    # the trend is clearly visible for the most loaded client count
-    busiest = max(scale.window_clients)
-    rows = {row["window_s"]: row for row in result.rows if row["clients"] == busiest}
-    assert rows[largest]["correlation_time_s"] > rows[smallest]["correlation_time_s"]
+        times = [
+            row["correlation_time_s"]
+            for row in result.rows
+            if row["clients"] == clients
+        ]
+        floor = max(min(times), 0.020)
+        assert max(times) < 5 * floor

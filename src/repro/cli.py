@@ -40,6 +40,12 @@ Commands
     being written, loop :meth:`repro.FileTailSource.poll` from Python.
 ``diagnose``
     Rerun the Fig. 17 fault scenarios and print the implicated tiers.
+``profile``
+    Regenerate a performance figure (Fig. 9 correlation-time sweep by
+    default, or the Fig. 11s streaming-memory sweep), write its
+    ``BENCH_*.json`` trajectory file and -- when a baseline document is
+    available -- print the per-point speedup against it.  ``--cprofile``
+    additionally prints the hottest functions of one correlation run.
 """
 
 from __future__ import annotations
@@ -145,6 +151,37 @@ def _build_parser() -> argparse.ArgumentParser:
     stream_parser.add_argument("--clients", type=int, default=100)
     stream_parser.add_argument("--runtime", type=float, default=6.0)
     stream_parser.add_argument("--seed", type=int, default=17)
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="run a perf figure, write BENCH_*.json and compare to a baseline",
+    )
+    profile_parser.add_argument(
+        "--figure",
+        choices=["fig9", "fig11s"],
+        default="fig9",
+        help="which performance figure to regenerate (default: fig9)",
+    )
+    profile_parser.add_argument(
+        "--output-dir",
+        default=None,
+        metavar="DIR",
+        help="where to write BENCH_*.json (default: $REPRO_BENCH_DIR or ./bench_results)",
+    )
+    profile_parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "BENCH_*.json to compare against "
+            "(default: benchmarks/baselines/BENCH_<figure>_baseline.json when present)"
+        ),
+    )
+    profile_parser.add_argument(
+        "--cprofile",
+        action="store_true",
+        help="also cProfile one batch correlation run and print the hot spots",
+    )
     return parser
 
 
@@ -295,6 +332,73 @@ def _command_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_profile(args: argparse.Namespace, scale) -> int:
+    """Regenerate a perf figure, record BENCH_*.json, compare to baseline."""
+    import os
+
+    from .experiments.bench import (
+        compare_timing_rows,
+        load_bench_result,
+        write_bench_result,
+    )
+    from .experiments.figures import figure9, figure11_streaming
+
+    generators = {"fig9": figure9, "fig11s": figure11_streaming}
+    result = generators[args.figure](scale)
+    print(render_table(result))
+
+    path = write_bench_result(
+        result,
+        label="repro profile",
+        directory=args.output_dir,
+        scale_name=scale.name,
+    )
+    print(f"\nbenchmark results written to {path}")
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        default_path = os.path.join(
+            "benchmarks", "baselines", f"BENCH_{args.figure}_baseline.json"
+        )
+        if os.path.exists(default_path):
+            baseline_path = default_path
+    if baseline_path and args.figure == "fig9":
+        baseline = load_bench_result(baseline_path)
+        comparison = compare_timing_rows(baseline["rows"], result.rows)
+        if comparison:
+            print(f"\nspeedup vs {baseline_path} ({baseline.get('label', '')}):")
+            for row in comparison:
+                print(
+                    f"  clients={int(row['key']):5d}  "
+                    f"{row['baseline']:.4f}s -> {row['current']:.4f}s  "
+                    f"({row['speedup']:.2f}x)"
+                )
+            total_old = sum(row["baseline"] for row in comparison)
+            total_new = sum(row["current"] for row in comparison)
+            print(f"  aggregate: {total_old / max(total_new, 1e-9):.2f}x")
+    elif baseline_path:
+        print(f"(baseline comparison only supports fig9; ignoring {baseline_path})")
+
+    if args.cprofile:
+        import cProfile
+        import pstats
+
+        from .core.correlator import Correlator
+        from .experiments.figures import _base_config
+        from .experiments.runner import get_run
+
+        clients = max(scale.client_series)
+        run = get_run(_base_config(scale, clients=clients))
+        activities = run.activities()
+        print(f"\ncProfile of one batch correlation ({clients} clients):")
+        profiler = cProfile.Profile()
+        profiler.enable()
+        Correlator(window=scale.window).correlate(activities)
+        profiler.disable()
+        pstats.Stats(profiler).sort_stats("tottime").print_stats(15)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -328,6 +432,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_trace(args)
     if args.command == "stream":
         return _command_stream(args)
+    if args.command == "profile":
+        return _command_profile(args, scale)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

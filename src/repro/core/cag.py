@@ -36,7 +36,7 @@ class CAGError(RuntimeError):
     """Raised when an operation would violate the CAG invariants."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Edge:
     """A directed edge of a CAG."""
 
@@ -73,6 +73,13 @@ class CAG:
         self._parents: Dict[int, List[Edge]] = {id(root): []}
         self._children: Dict[int, List[Edge]] = {id(root): []}
         self.finished: bool = False
+        #: Local timestamp of the newest activity attributed to this CAG,
+        #: maintained incrementally so streaming eviction never has to
+        #: rescan the vertex list.  ``touch()`` also folds in merged
+        #: kernel parts (segmented BEGIN/SEND/END reads and writes), which
+        #: grow an existing vertex without adding a new one but still
+        #: prove the request is alive.
+        self.newest_timestamp: float = root.timestamp
 
     # -- construction ------------------------------------------------------
 
@@ -80,12 +87,15 @@ class CAG:
         """Add an activity vertex without connecting it yet."""
         if self.finished:
             raise CAGError("cannot add vertices to a finished CAG")
-        if id(activity) in self._vertex_ids:
+        vertex_id = id(activity)
+        if vertex_id in self._vertex_ids:
             raise CAGError("activity already present in CAG")
         self._vertices.append(activity)
-        self._vertex_ids.add(id(activity))
-        self._parents[id(activity)] = []
-        self._children[id(activity)] = []
+        self._vertex_ids.add(vertex_id)
+        self._parents[vertex_id] = []
+        self._children[vertex_id] = []
+        if activity.timestamp > self.newest_timestamp:
+            self.newest_timestamp = activity.timestamp
 
     def add_edge(self, parent: Activity, child: Activity, kind: str) -> Edge:
         """Add a context or message edge.
@@ -97,17 +107,20 @@ class CAG:
         """
         if kind not in (CONTEXT_EDGE, MESSAGE_EDGE):
             raise CAGError(f"unknown edge kind {kind!r}")
-        if id(parent) not in self._vertex_ids:
+        parent_id = id(parent)
+        child_id = id(child)
+        vertex_ids = self._vertex_ids
+        if parent_id not in vertex_ids:
             raise CAGError("edge parent is not a vertex of this CAG")
-        if id(child) not in self._vertex_ids:
+        if child_id not in vertex_ids:
             raise CAGError("edge child is not a vertex of this CAG")
         if parent is child:
             raise CAGError("self edges are not allowed")
 
-        existing = self._parents[id(child)]
-        if len(existing) >= 2:
-            raise CAGError("a vertex may have at most two parents")
+        existing = self._parents[child_id]
         if existing:
+            if len(existing) >= 2:
+                raise CAGError("a vertex may have at most two parents")
             if child.type is not ActivityType.RECEIVE:
                 raise CAGError("only RECEIVE vertices may have two parents")
             if existing[0].kind == kind:
@@ -117,18 +130,55 @@ class CAG:
 
         edge = Edge(parent=parent, child=child, kind=kind)
         self._edges.append(edge)
-        self._parents[id(child)].append(edge)
-        self._children[id(parent)].append(edge)
+        existing.append(edge)
+        self._children[parent_id].append(edge)
         return edge
 
     def append(self, activity: Activity, parent: Activity, kind: str) -> Edge:
-        """Add a vertex and connect it to ``parent`` in one step."""
-        self.add_vertex(activity)
-        return self.add_edge(parent, activity, kind)
+        """Add a vertex and connect it to ``parent`` in one step.
+
+        This is the engine's per-candidate growth path, so it fuses
+        ``add_vertex`` + ``add_edge`` into one call and skips the edge
+        checks a brand-new child satisfies by construction (no existing
+        parents, not a self edge); everything that can actually go wrong
+        -- finished CAG, duplicate vertex, foreign parent, bad kind --
+        still fails loudly.
+        """
+        if self.finished:
+            raise CAGError("cannot add vertices to a finished CAG")
+        if kind not in (CONTEXT_EDGE, MESSAGE_EDGE):
+            raise CAGError(f"unknown edge kind {kind!r}")
+        vertex_id = id(activity)
+        if vertex_id in self._vertex_ids:
+            raise CAGError("activity already present in CAG")
+        parent_id = id(parent)
+        if parent_id not in self._vertex_ids:
+            raise CAGError("edge parent is not a vertex of this CAG")
+        self._vertices.append(activity)
+        self._vertex_ids.add(vertex_id)
+        edge = Edge(parent=parent, child=activity, kind=kind)
+        self._parents[vertex_id] = [edge]
+        self._children[vertex_id] = []
+        self._edges.append(edge)
+        self._children[parent_id].append(edge)
+        if activity.timestamp > self.newest_timestamp:
+            self.newest_timestamp = activity.timestamp
+        return edge
 
     def finish(self) -> None:
         """Mark the CAG as complete (an END activity was correlated)."""
         self.finished = True
+
+    def touch(self, timestamp: float) -> None:
+        """Record recent activity that did not add a vertex.
+
+        Called by the engine when a kernel part is merged into an existing
+        vertex (multi-part BEGIN bodies, segmented SEND/END writes) so the
+        eviction recency of an open CAG reflects the merge, not just the
+        first part.
+        """
+        if timestamp > self.newest_timestamp:
+            self.newest_timestamp = timestamp
 
     # -- queries -----------------------------------------------------------
 

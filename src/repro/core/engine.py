@@ -18,6 +18,7 @@ threads are recycled from a pool.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -71,6 +72,25 @@ class CorrelationEngine:
         # CAGs dropped by watermark eviction (streaming mode); kept so the
         # final accounting can still report them as incomplete paths.
         self._evicted: List[CAG] = []
+        # Candidate dispatch, indexed by the activity's Rule-2 priority
+        # (== its type value): a list index beats an enum-keyed dict
+        # lookup, and this runs once per candidate.
+        self._dispatch = [
+            self._handle_begin,  # BEGIN = 0
+            self._handle_send,  # SEND = 1
+            self._handle_end,  # END = 2
+            self._handle_receive,  # RECEIVE = 3
+            None,  # MAX is never instantiated
+        ]
+        # Direct references into the index maps' backing dicts.  Every
+        # candidate performs at least one cmap lookup and update, so the
+        # method indirection is measurable on the Fig. 9 benchmark; the
+        # maps remain the owning API (eviction, touch, introspection) and
+        # both sides only ever mutate these dicts in place, never rebind
+        # them.
+        self._cmap_latest = self.cmap._latest
+        self._cmap_recency = self.cmap._recency
+        self._mmap_pending = self.mmap._pending
 
     # -- public API --------------------------------------------------------
 
@@ -106,12 +126,7 @@ class CorrelationEngine:
         END of a request, ``None`` otherwise.  This is the body of the
         ``while`` loop of Fig. 3.
         """
-        handler = {
-            ActivityType.BEGIN: self._handle_begin,
-            ActivityType.END: self._handle_end,
-            ActivityType.SEND: self._handle_send,
-            ActivityType.RECEIVE: self._handle_receive,
-        }.get(current.type)
+        handler = self._dispatch[current.priority]
         if handler is None:  # pragma: no cover - MAX is never instantiated
             return None
         return handler(current)
@@ -120,43 +135,56 @@ class CorrelationEngine:
 
     def _handle_begin(self, current: Activity) -> Optional[CAG]:
         self.stats.begins += 1
-        previous = self.cmap.latest(current.context_key)
+        previous = self._cmap_latest.get(current.context_key)
         if (
             previous is not None
             and previous.type is ActivityType.BEGIN
             and previous.message_key == current.message_key
-            and self._owner_of(previous) is not None
-            and len(self._owner_of(previous)) == 1
         ):
-            # The request body arrived in several kernel reads before the
-            # component did anything else: merge the parts into one BEGIN
-            # instead of opening a second (bogus) CAG.
-            previous.size += current.size
-            return None
+            owner = self._owner.get(id(previous))
+            if owner is not None and len(owner) == 1:
+                # The request body arrived in several kernel reads before
+                # the component did anything else: merge the parts into one
+                # BEGIN instead of opening a second (bogus) CAG.  The merge
+                # grows the vertex in place, so refresh the context's and
+                # the CAG's eviction recency -- otherwise a multi-part body
+                # straddling the horizon looks idle and streaming eviction
+                # drops a *live* request.
+                previous.size += current.size
+                self.cmap.touch(current.context_key, current.timestamp)
+                owner.touch(current.timestamp)
+                return None
 
         cag = CAG(root=current)
         self._open[cag.cag_id] = cag
         self._owner[id(current)] = cag
-        self.cmap.update(current)
+        key = current.context_key
+        self._cmap_latest[key] = current
+        self._cmap_recency[key] = current.timestamp
         return None
 
     def _handle_end(self, current: Activity) -> Optional[CAG]:
         self.stats.ends += 1
-        parent = self.cmap.latest(current.context_key)
+        parent = self._cmap_latest.get(current.context_key)
         if parent is None:
             self.stats.unmatched_ends += 1
             return None
         if parent.type is ActivityType.END and parent.message_key == current.message_key:
             # Response flushed in several kernel writes; the request is
-            # already finished, just account the extra bytes.
+            # already finished, just account the extra bytes -- and keep
+            # the context's eviction recency honest while the tail of the
+            # response is still being written.
             parent.size += current.size
+            self.cmap.touch(current.context_key, current.timestamp)
             return None
-        cag = self._owner_of(parent)
+        cag = self._owner.get(id(parent))
         if cag is None:
             self.stats.unmatched_ends += 1
             return None
         cag.append(current, parent, CONTEXT_EDGE)
-        self.cmap.update(current)
+        key = current.context_key
+        self._cmap_latest[key] = current
+        self._cmap_recency[key] = current.timestamp
         self._finish(cag, current)
         return cag
 
@@ -164,8 +192,8 @@ class CorrelationEngine:
 
     def _handle_send(self, current: Activity) -> Optional[CAG]:
         self.stats.sends += 1
-        parent = self.cmap.latest(current.context_key)
-        cag = self._owner_of(parent) if parent is not None else None
+        parent = self._cmap_latest.get(current.context_key)
+        cag = self._owner.get(id(parent)) if parent is not None else None
         if parent is None or cag is None:
             # A SEND with no causal predecessor belongs to traffic we do
             # not trace (noise, or a flow whose BEGIN predates the trace).
@@ -187,6 +215,10 @@ class CorrelationEngine:
             # receiver reads still find a pending entry to match.
             parent.size += current.size
             self.stats.merged_sends += 1
+            # Same recency hazard as the BEGIN/END merges: the vertex grew
+            # in place, so the context and its CAG are provably alive.
+            self.cmap.touch(current.context_key, current.timestamp)
+            cag.touch(current.timestamp)
             if parent.size == 0:
                 # The receiver had already consumed every byte of this
                 # logical message (its reads were delivered first); this
@@ -199,20 +231,27 @@ class CorrelationEngine:
 
         cag.append(current, parent, CONTEXT_EDGE)
         self._owner[id(current)] = cag
-        self.cmap.update(current)
-        self.mmap.insert(current)
+        key = current.context_key
+        self._cmap_latest[key] = current
+        self._cmap_recency[key] = current.timestamp
+        message_key = current.message_key
+        pending = self._mmap_pending.get(message_key)
+        if pending is None:
+            pending = self._mmap_pending[message_key] = deque()
+        pending.append(current)
         return None
 
     # -- RECEIVE ---------------------------------------------------------------
 
     def _handle_receive(self, current: Activity) -> Optional[CAG]:
         self.stats.receives += 1
-        parent_msg = self.mmap.match(current.message_key)
+        pending = self._mmap_pending.get(current.message_key)
+        parent_msg = pending[0] if pending else None
         if parent_msg is None:
             self.stats.unmatched_receives += 1
             return None
 
-        cag = self._owner_of(parent_msg)
+        cag = self._owner.get(id(parent_msg))
         if cag is None:
             # The owning CAG finished or was evicted; treat as unmatched.
             self.mmap.remove(parent_msg)
@@ -242,16 +281,18 @@ class CorrelationEngine:
         cag.append(current, parent_msg, MESSAGE_EDGE)
         self._owner[id(current)] = cag
 
-        parent_cntx = self.cmap.latest(current.context_key)
+        key = current.context_key
+        parent_cntx = self._cmap_latest.get(key)
         if parent_cntx is not None and parent_cntx is not current:
-            if self._owner_of(parent_cntx) is cag:
+            if self._owner.get(id(parent_cntx)) is cag:
                 cag.add_edge(parent_cntx, current, CONTEXT_EDGE)
             else:
                 # Thread-reuse guard: the latest activity of this execution
                 # entity belongs to a different request (recycled pool
                 # thread); do not splice the paths together.
                 self.stats.thread_reuse_blocked += 1
-        self.cmap.update(current)
+        self._cmap_latest[key] = current
+        self._cmap_recency[key] = current.timestamp
 
     # -- watermark eviction (streaming mode) --------------------------------------
 
@@ -287,8 +328,10 @@ class CorrelationEngine:
         self.stats.evicted_cmap_entries += cmap_evicted
         evicted += cmap_evicted
         for cag_id, cag in list(self._open.items()):
-            newest = max(vertex.timestamp for vertex in cag.vertices)
-            if newest < before:
+            # ``newest_timestamp`` is maintained incrementally (including
+            # merged kernel parts via ``CAG.touch``), so the eviction tick
+            # is O(open CAGs) instead of O(total buffered vertices).
+            if cag.newest_timestamp < before:
                 self._open.pop(cag_id, None)
                 for vertex in cag.vertices:
                     self._owner.pop(id(vertex), None)

@@ -28,7 +28,7 @@ and its accuracy trade-off.
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
+from collections import deque
 from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
 from .activity import Activity
@@ -58,7 +58,10 @@ class MessageMap:
     def insert(self, send: Activity) -> None:
         """Register a SEND whose bytes are awaiting matching RECEIVEs."""
         key = send.message_key
-        self._pending.setdefault(key, deque()).append(send)
+        queue = self._pending.get(key)
+        if queue is None:
+            queue = self._pending[key] = deque()
+        queue.append(send)
 
     def match(self, key: MessageKey) -> Optional[Activity]:
         """Return (without removing) the oldest pending SEND for ``key``."""
@@ -68,8 +71,14 @@ class MessageMap:
         return queue[0]
 
     def has_match(self, key: MessageKey) -> bool:
-        """Rule 1 / ``is_noise`` test: is there a pending SEND for ``key``?"""
-        return self.match(key) is not None
+        """Rule 1 / ``is_noise`` test: is there a pending SEND for ``key``?
+
+        One dict probe -- this is the single most frequently called check
+        of the whole correlation hot path (every RECEIVE head consults it
+        on every selection round), so it must not build anything.
+        """
+        queue = self._pending.get(key)
+        return queue is not None and bool(queue)
 
     def is_pending(self, send: Activity) -> bool:
         """Is this exact SEND still awaiting bytes from its receiver?"""
@@ -109,13 +118,14 @@ class MessageMap:
         evicted: List[Activity] = []
         for key in list(self._pending):
             queue = self._pending[key]
+            if not any(send.timestamp < before for send in queue):
+                continue  # common case: nothing stale, no rebuild
             kept = deque(send for send in queue if send.timestamp >= before)
-            if len(kept) != len(queue):
-                evicted.extend(send for send in queue if send.timestamp < before)
-                if kept:
-                    self._pending[key] = kept
-                else:
-                    del self._pending[key]
+            evicted.extend(send for send in queue if send.timestamp < before)
+            if kept:
+                self._pending[key] = kept
+            else:
+                del self._pending[key]
         return evicted
 
     def clear(self) -> None:
@@ -123,10 +133,19 @@ class MessageMap:
 
 
 class ContextMap:
-    """``cmap``: latest activity per execution entity."""
+    """``cmap``: latest activity per execution entity.
+
+    Eviction is driven by a per-context *recency* timestamp, not by the
+    timestamp of the stored activity: when the engine merges a late
+    kernel part into an existing vertex (a request body or response that
+    arrived in several reads/writes) the stored activity keeps its first
+    part's timestamp, but the context is demonstrably alive -- ``touch``
+    refreshes its recency so streaming eviction cannot drop it mid-merge.
+    """
 
     def __init__(self) -> None:
-        self._latest: "OrderedDict[ContextKey, Activity]" = OrderedDict()
+        self._latest: Dict[ContextKey, Activity] = {}
+        self._recency: Dict[ContextKey, float] = {}
 
     def __len__(self) -> int:
         return len(self._latest)
@@ -141,28 +160,36 @@ class ContextMap:
     def update(self, activity: Activity) -> None:
         """Record ``activity`` as the latest one of its context."""
         key = activity.context_key
-        if key in self._latest:
-            self._latest.move_to_end(key)
         self._latest[key] = activity
+        self._recency[key] = activity.timestamp
+
+    def touch(self, key: ContextKey, timestamp: float) -> None:
+        """Refresh a context's eviction recency without replacing its
+        latest activity (used when kernel parts are merged in place)."""
+        if key in self._latest and timestamp > self._recency[key]:
+            self._recency[key] = timestamp
+
+    def recency(self, key: ContextKey) -> Optional[float]:
+        """The eviction recency of ``key`` (None when absent)."""
+        return self._recency.get(key)
 
     def remove(self, key: ContextKey) -> None:
         self._latest.pop(key, None)
+        self._recency.pop(key, None)
 
     def evict_older_than(self, before: float) -> int:
-        """Drop entries whose latest activity is older than ``before``.
+        """Drop entries whose recency is older than ``before``.
 
         An execution entity silent for longer than the eviction horizon
         either finished its request long ago or died; its ``cmap`` entry
         can only fabricate a wrong adjacent-context relation for a future
         request on a recycled pid/tid.  Returns the eviction count.
         """
-        stale = [
-            key
-            for key, activity in self._latest.items()
-            if activity.timestamp < before
-        ]
+        recency = self._recency
+        stale = [key for key, ts in recency.items() if ts < before]
         for key in stale:
             del self._latest[key]
+            del recency[key]
         return len(stale)
 
     def items(self) -> Iterator[Tuple[ContextKey, Activity]]:
@@ -170,3 +197,4 @@ class ContextMap:
 
     def clear(self) -> None:
         self._latest.clear()
+        self._recency.clear()

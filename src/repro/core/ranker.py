@@ -26,17 +26,42 @@ Two disturbances are tolerated (Section 4.3):
   both be headed by RECEIVEs that block each other's matching SENDs; the
   ranker resolves this by moving the blocking SEND in front of its queue
   (the generalisation of the head-swap of Fig. 6).
+
+Hot-path data structures
+------------------------
+
+Every selection decision used to rescan the per-source / per-queue state;
+the ranker now keeps three global indexes so each check is O(1) instead
+of O(sources) or O(buffered activities):
+
+* a **global future-send registry** (one counter shared by every source)
+  answers "does a matching SEND still await fetch on *any* node?" without
+  touching the sources -- this is the hot half of ``is_noise`` and of the
+  blocked-RECEIVE test;
+* a **buffered-send index** keyed by message key, holding per-node FIFO
+  deques of the buffered SENDs in queue order, answers the other half and
+  gives blockage resolution the (node, position-in-queue-order) of the
+  blocking SEND without walking every queue;
+* the **window low edge** is a cached minimum, recomputed (over the head
+  of each queue and each source frontier) only after a mutation that can
+  move it -- a delivery, a discard, a fetch, a promotion or an ingest --
+  instead of on every ``rank()`` call.
+
+All three are pure indexes: they never change which candidate is
+selected, a property the batch/streaming equivalence tests pin down.
 """
 
 from __future__ import annotations
 
 import math
 from collections import Counter, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .activity import Activity, ActivityType, sort_key
 from .index_maps import MessageMap
+
+MessageKey = Tuple[str, int, str, int]
 
 
 @dataclass
@@ -53,19 +78,38 @@ class RankerStats:
 
 
 class ActivitySource:
-    """A per-node stream of activities sorted by the node's local clock."""
+    """A per-node stream of activities sorted by the node's local clock.
 
-    def __init__(self, node: str, activities: Sequence[Activity]) -> None:
+    ``registry`` is the owning ranker's global future-send counter; the
+    source keeps it in sync with its own per-source counter so the ranker
+    can answer "any source still holds a SEND for this key?" in O(1).
+    """
+
+    def __init__(
+        self,
+        node: str,
+        activities: Sequence[Activity],
+        registry: Optional[Counter] = None,
+    ) -> None:
         self.node = node
         self._activities: List[Activity] = sorted(activities, key=sort_key)
         self._position = 0
+        self._registry = registry
         # Message keys of send-like activities not yet fetched, kept as a
         # counter so the noise test stays O(1) per source instead of
         # rescanning the remaining stream for every RECEIVE head.
         self._future_send_keys: Counter = Counter(
             activity.message_key
             for activity in self._activities
-            if activity.type.is_send_like
+            if activity.send_like
+        )
+        if registry is not None:
+            registry.update(self._future_send_keys)
+        #: Local timestamp of the next unfetched activity (None when
+        #: exhausted).  A plain attribute so the ranker's refill loop can
+        #: read it without a method call.
+        self.next_timestamp: Optional[float] = (
+            self._activities[0].timestamp if self._activities else None
         )
 
     def __len__(self) -> int:
@@ -76,18 +120,24 @@ class ActivitySource:
         return self._position >= len(self._activities)
 
     def peek_timestamp(self) -> Optional[float]:
-        if self.exhausted:
-            return None
-        return self._activities[self._position].timestamp
+        return self.next_timestamp
 
     def take_until(self, limit: float) -> List[Activity]:
         """Pop and return every remaining activity with timestamp <= limit."""
-        taken: List[Activity] = []
-        while not self.exhausted and self._activities[self._position].timestamp <= limit:
-            taken.append(self._activities[self._position])
-            self._position += 1
+        activities = self._activities
+        position = self._position
+        end = len(activities)
+        start = position
+        while position < end and activities[position].timestamp <= limit:
+            position += 1
+        if position == start:
+            return []
+        taken = activities[start:position]
+        self._position = position
         for activity in taken:
-            self._note_fetched(activity)
+            if activity.send_like:
+                self._discard_future_send(activity.message_key)
+        self._sync_next_timestamp()
         return taken
 
     def take_one(self) -> Optional[Activity]:
@@ -97,14 +147,16 @@ class ActivitySource:
             return None
         activity = self._activities[self._position]
         self._position += 1
-        self._note_fetched(activity)
+        if activity.send_like:
+            self._discard_future_send(activity.message_key)
+        self._sync_next_timestamp()
         return activity
 
-    def has_future_send(self, key: Tuple[str, int, str, int]) -> bool:
+    def has_future_send(self, key: MessageKey) -> bool:
         """Is a send-like activity with ``key`` still awaiting fetch?"""
         return self._future_send_keys.get(key, 0) > 0
 
-    def take_through_send(self, key: Tuple[str, int, str, int]) -> List[Activity]:
+    def take_through_send(self, key: MessageKey) -> List[Activity]:
         """Pop activities up to and including the next send-like one with ``key``.
 
         Used to resolve the case where a RECEIVE surfaced at a queue head
@@ -122,23 +174,37 @@ class ActivitySource:
             if activity is None:
                 break
             taken.append(activity)
-            if activity.type.is_send_like and activity.message_key == key:
+            if activity.send_like and activity.message_key == key:
                 # pull the remaining consecutive parts of this send, if any
                 while not self.exhausted:
                     following = self._activities[self._position]
-                    if not (following.type.is_send_like and following.message_key == key):
+                    if not (following.send_like and following.message_key == key):
                         break
                     taken.append(self.take_one())
                 break
         return taken
 
-    def _note_fetched(self, activity: Activity) -> None:
-        if activity.type.is_send_like:
-            count = self._future_send_keys.get(activity.message_key, 0)
+    def _sync_next_timestamp(self) -> None:
+        if self._position >= len(self._activities):
+            self.next_timestamp = None
+        else:
+            self.next_timestamp = self._activities[self._position].timestamp
+
+    def _discard_future_send(self, key: MessageKey) -> None:
+        """One send-like activity with ``key`` left the unfetched region."""
+        local = self._future_send_keys
+        count = local.get(key, 0)
+        if count <= 1:
+            local.pop(key, None)
+        else:
+            local[key] = count - 1
+        registry = self._registry
+        if registry is not None:
+            count = registry.get(key, 0)
             if count <= 1:
-                self._future_send_keys.pop(activity.message_key, None)
+                registry.pop(key, None)
             else:
-                self._future_send_keys[activity.message_key] = count - 1
+                registry[key] = count - 1
 
 
 class Ranker:
@@ -176,16 +242,39 @@ class Ranker:
         # then returns ``None`` ("stalled") instead of committing a
         # decision it might have to take back.
         self.ceiling: float = math.inf
+        # Global future-send registry: counts, across every source, the
+        # send-like message keys still awaiting fetch.  Shared with the
+        # sources, which keep it in sync as they are consumed (and, for
+        # streaming GrowingSources, extended).
+        self._future_send_keys: Counter = Counter()
         self._sources: Dict[str, ActivitySource] = {
-            node: ActivitySource(node, activities)
+            node: ActivitySource(node, activities, registry=self._future_send_keys)
             for node, activities in sources.items()
         }
         self._queues: Dict[str, Deque[Activity]] = {
             node: deque() for node in self._sources
         }
-        # Counter of send-like message keys currently sitting in the
-        # queues, so the noise test does not rescan every queue.
-        self._buffered_send_keys: Counter = Counter()
+        # Buffered-send index: message key -> node -> FIFO of the SENDs
+        # with that key currently buffered in the node's queue, in queue
+        # order.  Existence answers the noise / blocked-RECEIVE tests in
+        # O(1); the per-node deques give blockage resolution the blocking
+        # SEND (and its queue) without walking every queue.
+        self._buffered_send_index: Dict[MessageKey, Dict[str, Deque[Activity]]] = {}
+        # Cached window low edge; recomputed lazily after any mutation
+        # that can move a queue head or a source frontier.  ``_low_node``
+        # remembers which node supplied the minimum: removing a head from
+        # any *other* node can only raise that node's own contribution, so
+        # the cached minimum stays valid and most deliveries invalidate
+        # nothing.  (Fetching never moves the low edge at all: it turns a
+        # source-frontier contribution into an equal queue-head one.)
+        self._low_cache: Optional[float] = None
+        self._low_node: Optional[str] = None
+        self._low_dirty = True
+        # Cached minimum over the source frontiers, invalidated only by
+        # fetches (deliveries do not move sources): lets _refill skip the
+        # per-source fetch loop when nothing can possibly be in window.
+        self._source_low_cache: Optional[float] = None
+        self._source_low_dirty = True
         self.stats = RankerStats()
 
     # -- public API ---------------------------------------------------------
@@ -222,11 +311,51 @@ class Ranker:
         Fig. 6 -- promotes the blocking SEND within its queue, which is the
         paper's head swap generalised to arbitrary queue positions.
         """
-        streaming = self.ceiling != math.inf
+        ceiling = self.ceiling
+        streaming = ceiling != math.inf
+        mmap = self._mmap
+        queues = self._queues
+        receive_type = ActivityType.RECEIVE
+        window = self._window
+        # The loop below iterates the queues dict directly instead of
+        # materialising a heads list: the tuple churn of a per-call list
+        # is what kept the cycle collector busy on long traces.
         while True:
-            self._refill()
-            heads = self._heads()
-            if not heads:
+            # Refill only when it can do something: either a cached
+            # minimum is stale, or some source frontier actually falls
+            # inside the current window.
+            if self._low_dirty or self._source_low_dirty:
+                self._refill()
+            else:
+                source_low = self._source_low_cache
+                low = self._low_cache
+                if (
+                    source_low is not None
+                    and low is not None
+                    and source_low <= low + window
+                ):
+                    self._refill()
+
+            # Sweep 1 -- emptiness, the earliest head (for the streaming
+            # ceiling check) and Rule 1: the earliest head RECEIVE whose
+            # SEND sits in the mmap.
+            empty = True
+            earliest_ts = math.inf
+            candidate: Optional[Activity] = None
+            candidate_node: Optional[str] = None
+            for node, queue in queues.items():
+                if not queue:
+                    continue
+                empty = False
+                head = queue[0]
+                ts = head.timestamp
+                if ts < earliest_ts:
+                    earliest_ts = ts
+                if head.type is receive_type and mmap.has_match(head.message_key):
+                    if candidate is None or ts < candidate.timestamp:
+                        candidate = head
+                        candidate_node = node
+            if empty:
                 if self.exhausted():
                     return None
                 # Window too small to admit any activity: force progress by
@@ -237,42 +366,84 @@ class Ranker:
                     return None
                 continue
 
-            if streaming and all(h.timestamp > self.ceiling for _, h in heads):
+            if streaming and earliest_ts > ceiling:
                 return None  # nothing decidable yet: wait for the watermark
 
-            candidate = self._select_rule1(heads)
             if candidate is not None:
-                if candidate[1].timestamp > self.ceiling:
+                if candidate.timestamp > ceiling:
                     return None
                 self.stats.rule1_selections += 1
-                return self._deliver(candidate)
+                return self._deliver(candidate_node, candidate)
 
-            discarded = self._discard_noise(heads)
+            # Rule 1 missed, so no RECEIVE head has an mmap match -- every
+            # RECEIVE head below is either *noise* (no matching SEND
+            # buffered or awaiting fetch anywhere: discard), *blocked* (a
+            # matching SEND exists but has not been delivered: never
+            # selectable) or, above the ceiling, undecidable-yet-eligible.
+            # Sweep 2 classifies the heads, discards the noise and tracks
+            # the Rule-2 minimum among the eligible ones, without
+            # re-consulting the mmap the three separate passes used to.
+            discarded = False
+            best: Optional[Activity] = None
+            best_node: Optional[str] = None
+            best_priority = best_ts = best_seq = 0
+            blocked: Optional[List[Tuple[str, Activity]]] = None
+            future = self._future_send_keys
+            buffered = self._buffered_send_index
+            for node, queue in queues.items():
+                if not queue:
+                    continue
+                head = queue[0]
+                if head.type is receive_type:
+                    key = head.message_key
+                    if key in buffered or future.get(key, 0) > 0:
+                        if not streaming or head.timestamp <= ceiling:
+                            if blocked is None:
+                                blocked = []
+                            blocked.append((node, head))
+                        continue
+                    if head.timestamp <= ceiling:
+                        queue.popleft()
+                        if node == self._low_node:
+                            self._low_dirty = True
+                        self.stats.noise_discarded += 1
+                        discarded = True
+                        continue
+                    # above the ceiling: the noise verdict is not final,
+                    # so the head stays eligible (and will stall below)
+                if discarded:
+                    continue  # heads changed; selection restarts anyway
+                priority = head.priority
+                ts = head.timestamp
+                if (
+                    best is None
+                    or priority < best_priority
+                    or (
+                        priority == best_priority
+                        and (
+                            ts < best_ts
+                            or (ts == best_ts and head.seq < best_seq)
+                        )
+                    )
+                ):
+                    best = head
+                    best_node = node
+                    best_priority = priority
+                    best_ts = ts
+                    best_seq = head.seq
             if discarded:
                 continue
-
-            eligible = [
-                (node, head)
-                for node, head in heads
-                if not self._is_blocked_receive(head)
-            ]
-            if eligible:
-                choice = self._select_rule2(eligible)
-                if choice[1].timestamp > self.ceiling:
+            if best is not None:
+                if best.timestamp > ceiling:
                     return None
                 self.stats.rule2_selections += 1
-                return self._deliver(choice)
+                return self._deliver(best_node, best)
 
             # Every head is a RECEIVE blocked on an undelivered SEND:
             # resolve the disturbance and try again.  Only heads below the
             # ceiling are acted on in streaming mode -- for newer heads the
             # blocking SEND may not have been ingested yet.
-            resolvable = (
-                [(n, h) for n, h in heads if h.timestamp <= self.ceiling]
-                if streaming
-                else heads
-            )
-            if resolvable and self._resolve_blockage(resolvable):
+            if blocked and self._resolve_blockage(blocked):
                 continue
 
             if streaming:
@@ -284,9 +455,11 @@ class Ranker:
 
             # Could not make progress (should not happen with well-formed
             # traces); fall back to plain Rule 2 so the ranker never stalls.
-            choice = self._select_rule2(heads)
+            node, choice = self._select_rule2(
+                [(node, queue[0]) for node, queue in queues.items() if queue]
+            )
             self.stats.rule2_selections += 1
-            return self._deliver(choice)
+            return self._deliver(node, choice)
 
     # -- window management ----------------------------------------------------
 
@@ -302,31 +475,64 @@ class Ranker:
         if low is None:
             return
         limit = low + self._window
+        source_low = self._source_low()
+        if source_low is None or source_low > limit:
+            return  # no source holds anything inside the window
         fetched = False
         for node, source in self._sources.items():
+            next_ts = source.next_timestamp
+            if next_ts is None or next_ts > limit:
+                continue
             taken = source.take_until(limit)
             if taken:
                 fetched = True
-                self._queues[node].extend(taken)
-                for activity in taken:
-                    if activity.type.is_send_like:
-                        self._buffered_send_keys[activity.message_key] += 1
+                self._enqueue(node, taken)
         if fetched:
             self.stats.window_refills += 1
-            self.stats.max_buffered = max(self.stats.max_buffered, self.buffered_count())
+            count = self.buffered_count()
+            if count > self.stats.max_buffered:
+                self.stats.max_buffered = count
 
     def _window_low(self) -> Optional[float]:
-        candidates: List[float] = []
+        """The cached low edge of the sliding window.
+
+        The minimum over the queue heads and source frontiers can only
+        move when one of them does, so it is recomputed lazily after a
+        delivery, discard, fetch, promotion or (streaming) ingest rather
+        than on every ``rank()`` call.
+        """
+        if not self._low_dirty:
+            return self._low_cache
+        low: Optional[float] = None
+        low_node: Optional[str] = None
+        sources = self._sources
         for node, queue in self._queues.items():
             if queue:
-                candidates.append(queue[0].timestamp)
+                ts = queue[0].timestamp
             else:
-                ts = self._sources[node].peek_timestamp()
-                if ts is not None:
-                    candidates.append(ts)
-        if not candidates:
-            return None
-        return min(candidates)
+                ts = sources[node].next_timestamp
+                if ts is None:
+                    continue
+            if low is None or ts < low:
+                low = ts
+                low_node = node
+        self._low_cache = low
+        self._low_node = low_node
+        self._low_dirty = False
+        return low
+
+    def _source_low(self) -> Optional[float]:
+        """Cached minimum over the source frontiers (None = all drained)."""
+        if not self._source_low_dirty:
+            return self._source_low_cache
+        low: Optional[float] = None
+        for source in self._sources.values():
+            ts = source.next_timestamp
+            if ts is not None and (low is None or ts < low):
+                low = ts
+        self._source_low_cache = low
+        self._source_low_dirty = False
+        return low
 
     def _force_fetch_one(self) -> bool:
         """Admit the earliest unfetched activity when the window admits none.
@@ -338,7 +544,7 @@ class Ranker:
         best_node: Optional[str] = None
         best_ts: Optional[float] = None
         for node, source in self._sources.items():
-            ts = source.peek_timestamp()
+            ts = source.next_timestamp
             if ts is None:
                 continue
             if best_ts is None or ts < best_ts:
@@ -348,29 +554,27 @@ class Ranker:
             return False
         activity = self._sources[best_node].take_one()
         if activity is not None:
-            self._queues[best_node].append(activity)
-            if activity.type.is_send_like:
-                self._buffered_send_keys[activity.message_key] += 1
-            self.stats.max_buffered = max(self.stats.max_buffered, self.buffered_count())
+            self._enqueue(best_node, (activity,))
+            count = self.buffered_count()
+            if count > self.stats.max_buffered:
+                self.stats.max_buffered = count
         return True
 
+    def _enqueue(self, node: str, taken: Sequence[Activity]) -> None:
+        """Append fetched activities to a queue and index their sends."""
+        self._queues[node].extend(taken)
+        index = self._buffered_send_index
+        for activity in taken:
+            if activity.send_like:
+                index.setdefault(activity.message_key, {}).setdefault(
+                    node, deque()
+                ).append(activity)
+        # A fetch advances the source frontier but never moves the window
+        # low edge: it converts a source-frontier contribution into an
+        # equal queue-head one, so only the source minimum goes stale.
+        self._source_low_dirty = True
+
     # -- candidate selection ----------------------------------------------------
-
-    def _heads(self) -> List[Tuple[str, Activity]]:
-        return [(node, queue[0]) for node, queue in self._queues.items() if queue]
-
-    def _select_rule1(
-        self, heads: Sequence[Tuple[str, Activity]]
-    ) -> Optional[Tuple[str, Activity]]:
-        """Rule 1: a head RECEIVE whose SEND already sits in the mmap."""
-        best: Optional[Tuple[str, Activity]] = None
-        for node, head in heads:
-            if head.type is not ActivityType.RECEIVE:
-                continue
-            if self._mmap.has_match(head.message_key):
-                if best is None or head.timestamp < best[1].timestamp:
-                    best = (node, head)
-        return best
 
     def _select_rule2(
         self, heads: Sequence[Tuple[str, Activity]]
@@ -382,26 +586,70 @@ class Ranker:
         on how ties break (any order of causally-unrelated activities is
         acceptable to the engine).
         """
-        return min(heads, key=lambda item: (item[1].priority, item[1].timestamp, item[1].seq))
+        best = heads[0]
+        head = best[1]
+        best_key = (head.priority, head.timestamp, head.seq)
+        for item in heads[1:]:
+            head = item[1]
+            key = (head.priority, head.timestamp, head.seq)
+            if key < best_key:
+                best_key = key
+                best = item
+        return best
 
-    def _deliver(self, chosen: Tuple[str, Activity]) -> Activity:
-        node, activity = chosen
+    def _deliver(self, node: str, activity: Activity) -> Activity:
         queue = self._queues[node]
         if queue and queue[0] is activity:
             queue.popleft()
-        else:  # the activity was rotated to the front by the swap logic
-            queue.remove(activity)
-        self._note_dequeued(activity)
+        else:  # the activity was rotated away from the front by the swap
+            # logic: remove it by identity, never by equality -- a
+            # value-equal sibling activity must not be dequeued in its
+            # place (MessageMap bookkeeping is identity-based too).
+            for position, other in enumerate(queue):
+                if other is activity:
+                    del queue[position]
+                    break
+            else:
+                raise ValueError("delivered activity is not buffered in its queue")
+        if activity.send_like:
+            self._note_dequeued(node, activity)
+        if node == self._low_node:
+            self._low_dirty = True
+        elif not self._low_dirty and queue:
+            # Queues are timestamp-sorted except for a prefix of promoted
+            # SENDs (the Fig. 6 head swap puts a later SEND in front of an
+            # earlier head).  Delivering from that prefix can expose a head
+            # *below* the cached minimum even on a non-low node, so check
+            # the newly exposed head explicitly.  An emptied queue cannot
+            # lower the minimum: the source frontier is >= every fetched
+            # timestamp of its node.
+            low = self._low_cache
+            if low is not None and queue[0].timestamp < low:
+                self._low_dirty = True
         self.stats.delivered += 1
         return activity
 
-    def _note_dequeued(self, activity: Activity) -> None:
-        if activity.type.is_send_like:
-            count = self._buffered_send_keys.get(activity.message_key, 0)
-            if count <= 1:
-                self._buffered_send_keys.pop(activity.message_key, None)
-            else:
-                self._buffered_send_keys[activity.message_key] = count - 1
+    def _note_dequeued(self, node: str, activity: Activity) -> None:
+        """Drop a dequeued send-like activity from the buffered-send index
+        (callers pre-check ``send_like`` to spare the call for receives)."""
+        key = activity.message_key
+        per_node = self._buffered_send_index.get(key)
+        if per_node is None:
+            return
+        entries = per_node.get(node)
+        if entries is None:
+            return
+        if entries[0] is activity:
+            entries.popleft()
+        else:
+            for position, other in enumerate(entries):
+                if other is activity:
+                    del entries[position]
+                    break
+        if not entries:
+            del per_node[node]
+            if not per_node:
+                del self._buffered_send_index[key]
 
     # -- noise handling -----------------------------------------------------------
 
@@ -415,64 +663,37 @@ class Ranker:
         """
         if activity.type is not ActivityType.RECEIVE:
             return False
-        if self._mmap.has_match(activity.message_key):
+        key = activity.message_key
+        if self._mmap.has_match(key):
             return False
-        return not self._buffer_has_matching_send(activity)
-
-    def _buffer_has_matching_send(self, receive: Activity) -> bool:
-        key = receive.message_key
-        if self._buffered_send_keys.get(key, 0) > 0:
-            return True
+        if key in self._buffered_send_index:
+            return False
         # A matching SEND may also still be outside the window on its own
-        # node; consult each source's future-send index so that a small
-        # window does not misclassify legitimate traffic as noise.
-        for source in self._sources.values():
-            if source.has_future_send(key):
-                return True
-        return False
-
-    def _discard_noise(self, heads: Sequence[Tuple[str, Activity]]) -> bool:
-        """Drop every head that is noise.  Returns True if anything was
-        discarded (the caller then restarts selection).
-
-        Heads above the delivery ceiling are never discarded: their
-        matching SEND may simply not have been ingested yet, so the
-        ``is_noise`` verdict is not final until the watermark passes them.
-        """
-        discarded = False
-        for node, head in heads:
-            if head.timestamp > self.ceiling:
-                continue
-            if head.type is ActivityType.RECEIVE and self.is_noise(head):
-                self._queues[node].popleft()
-                self.stats.noise_discarded += 1
-                discarded = True
-        return discarded
+        # node; the global future-send registry covers every source, so a
+        # small window does not misclassify legitimate traffic as noise.
+        return self._future_send_keys.get(key, 0) <= 0
 
     # -- concurrency disturbance -----------------------------------------------------
 
-    def _is_blocked_receive(self, activity: Activity) -> bool:
-        """A RECEIVE selected by Rule 2 whose matching SEND exists but has
-        not been delivered to the engine yet (it is still buffered, or not
-        even fetched because the sender's clock runs ahead of the window)
-        is *blocked*: delivering it now would fail to correlate."""
-        if activity.type is not ActivityType.RECEIVE:
-            return False
-        if self._mmap.has_match(activity.message_key):
-            return False
-        if self._find_buffered_send(activity) is not None:
-            return True
-        return any(
-            source.has_future_send(activity.message_key)
-            for source in self._sources.values()
-        )
+    def _find_buffered_send(self, key: MessageKey) -> Optional[Tuple[str, Activity]]:
+        """The first buffered SEND with ``key``, via the buffered-send index.
 
-    def _find_buffered_send(self, receive: Activity) -> Optional[Tuple[str, Activity]]:
-        key = receive.message_key
-        for node, queue in self._queues.items():
-            for other in queue:
-                if other.type.is_send_like and other.message_key == key:
-                    return (node, other)
+        "First" preserves the pre-index scan order: the earliest in queue
+        order on the first node (in queue-registration order) that holds
+        one -- with a single holding node (the overwhelmingly common case,
+        since a directional connection key identifies the sending host)
+        resolved without touching the queues at all.
+        """
+        per_node = self._buffered_send_index.get(key)
+        if not per_node:
+            return None
+        if len(per_node) == 1:
+            node, entries = next(iter(per_node.items()))
+            return (node, entries[0])
+        for node in self._queues:
+            entries = per_node.get(node)
+            if entries:
+                return (node, entries[0])
         return None
 
     def _resolve_blockage(self, heads: Sequence[Tuple[str, Activity]]) -> bool:
@@ -494,25 +715,25 @@ class Ranker:
         Returns True when any queue changed, so the caller re-runs
         candidate selection.
         """
+        future = self._future_send_keys
         for _node, head in heads:
             key = head.message_key
+            if future.get(key, 0) <= 0:
+                continue
             for source_node, source in self._sources.items():
                 if not source.has_future_send(key):
                     continue
                 taken = source.take_through_send(key)
                 if not taken:
                     continue
-                self._queues[source_node].extend(taken)
-                for activity in taken:
-                    if activity.type.is_send_like:
-                        self._buffered_send_keys[activity.message_key] += 1
-                self.stats.max_buffered = max(
-                    self.stats.max_buffered, self.buffered_count()
-                )
+                self._enqueue(source_node, taken)
+                count = self.buffered_count()
+                if count > self.stats.max_buffered:
+                    self.stats.max_buffered = count
                 return True
 
         for _node, head in heads:
-            found = self._find_buffered_send(head)
+            found = self._find_buffered_send(head.message_key)
             if found is None:
                 continue
             queue_node, send = found
@@ -528,8 +749,25 @@ class Ranker:
                     break
             if ahead_same_context:
                 continue
-            queue.remove(send)
-            queue.appendleft(send)
-            self.stats.head_swaps += 1
+            self._promote_send(queue_node, send)
             return True
         return False
+
+    def _promote_send(self, node: str, send: Activity) -> None:
+        """The head swap of Fig. 6: rotate a blocking SEND to its queue
+        front, keeping the buffered-send index in queue order."""
+        queue = self._queues[node]
+        for position, other in enumerate(queue):
+            if other is send:
+                del queue[position]
+                break
+        queue.appendleft(send)
+        entries = self._buffered_send_index[send.message_key][node]
+        if entries[0] is not send:
+            for position, other in enumerate(entries):
+                if other is send:
+                    del entries[position]
+                    break
+            entries.appendleft(send)
+        self._low_dirty = True
+        self.stats.head_swaps += 1

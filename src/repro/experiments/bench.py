@@ -1,0 +1,141 @@
+"""Benchmark-results writer: the repository's performance trajectory.
+
+Every performance-sensitive run (the Fig. 9 correlation-time sweep, the
+Fig. 11s streaming-memory sweep, the ``repro profile`` CLI command) can
+serialise its :class:`~repro.experiments.figures.FigureResult` to a
+``BENCH_<figure_id>.json`` file.  The files are small, schema-stable JSON
+documents so successive PRs can be compared machine-to-machine:
+
+* CI uploads them as build artifacts (one per run of the benchmark job);
+* ``repro profile --baseline`` compares a fresh run against a committed
+  baseline (``benchmarks/baselines/``) and prints per-point speedups;
+* the committed baselines pin the numbers a change claims to beat.
+
+Schema (one JSON object per file)::
+
+    {
+      "figure_id":  "fig9",
+      "title":      "...",
+      "label":      "free-form provenance note",
+      "python":     "3.11.7",
+      "platform":   "Linux-...",
+      "scale":      "small",
+      "created_at": "2026-07-25T12:00:00+00:00",
+      "columns":    [...],
+      "rows":       [{...}, ...],
+      "notes":      "..."
+    }
+
+Timing fields inside ``rows`` keep whatever unit the figure generator
+used (seconds for correlation times, entry counts for memory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .config import default_scale
+from .figures import FigureResult
+
+#: Environment variable overriding the output directory.
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+#: Default output directory (relative to the current working directory).
+DEFAULT_BENCH_DIR = "bench_results"
+
+
+def bench_dir(directory: Optional[str] = None) -> Path:
+    """Resolve (and create) the benchmark-results directory."""
+    chosen = directory or os.environ.get(BENCH_DIR_ENV) or DEFAULT_BENCH_DIR
+    path = Path(chosen)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def bench_payload(
+    result: FigureResult,
+    label: str = "",
+    scale_name: Optional[str] = None,
+) -> Dict[str, object]:
+    """The serialisable document for one figure result.
+
+    Pass the *resolved* scale's name whenever the caller selected the
+    scale itself (the CLI's ``--scale`` flag overrides the environment);
+    the default falls back to :func:`default_scale`, which normalises
+    the ``REPRO_SCALE`` value the same way the generators do.
+    """
+    if scale_name is None:
+        scale_name = default_scale().name
+    return {
+        "figure_id": result.figure_id,
+        "title": result.title,
+        "label": label,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scale": scale_name,
+        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "columns": list(result.columns),
+        "rows": list(result.rows),
+        "notes": result.notes,
+    }
+
+
+def write_bench_result(
+    result: FigureResult,
+    label: str = "",
+    directory: Optional[str] = None,
+    scale_name: Optional[str] = None,
+) -> Path:
+    """Write ``BENCH_<figure_id>.json`` and return its path."""
+    target = bench_dir(directory) / f"BENCH_{result.figure_id}.json"
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(
+            bench_payload(result, label=label, scale_name=scale_name),
+            handle,
+            indent=2,
+        )
+        handle.write("\n")
+    return target
+
+
+def load_bench_result(path: str) -> Dict[str, object]:
+    """Load a previously written ``BENCH_*.json`` document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare_timing_rows(
+    baseline_rows: Sequence[Dict[str, object]],
+    current_rows: Sequence[Dict[str, object]],
+    key_column: str = "clients",
+    value_column: str = "correlation_time_s",
+) -> List[Dict[str, float]]:
+    """Per-point speedup of ``current`` over ``baseline``.
+
+    Points are matched on ``key_column``; points present in only one of
+    the two documents are skipped (sweeps may differ across scales).
+    Returns rows of ``{key, baseline, current, speedup}``.
+    """
+    baseline_by_key = {row[key_column]: row for row in baseline_rows}
+    comparison: List[Dict[str, float]] = []
+    for row in current_rows:
+        key = row.get(key_column)
+        base = baseline_by_key.get(key)
+        if base is None:
+            continue
+        old = float(base[value_column])
+        new = float(row[value_column])
+        comparison.append(
+            {
+                "key": float(key),
+                "baseline": old,
+                "current": new,
+                "speedup": old / new if new > 0 else float("inf"),
+            }
+        )
+    return comparison

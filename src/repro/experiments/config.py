@@ -23,6 +23,9 @@ from typing import List, Sequence, Tuple
 
 from ..services.rubis.client import WorkloadStages
 
+#: Environment variable selecting the experiment scale.
+SCALE_ENV = "REPRO_SCALE"
+
 
 @dataclass(frozen=True)
 class ExperimentScale:
@@ -88,5 +91,5 @@ SCALES = {scale.name: scale for scale in (SMALL, FULL)}
 
 def default_scale() -> ExperimentScale:
     """The scale selected by ``REPRO_SCALE`` (defaults to ``small``)."""
-    name = os.environ.get("REPRO_SCALE", "small").strip().lower()
+    name = os.environ.get(SCALE_ENV, "small").strip().lower()
     return SCALES.get(name, SMALL)

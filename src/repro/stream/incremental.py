@@ -45,6 +45,7 @@ batch :class:`~repro.core.correlator.Correlator`.
 
 from __future__ import annotations
 
+import gc
 import math
 import time
 from typing import Iterable, Iterator, List, Optional, Sequence
@@ -166,18 +167,33 @@ class IncrementalEngine:
 
     def _drain(self) -> List[CAG]:
         finished: List[CAG] = []
+        # Same per-candidate hoisting as the batch correlator: the drain
+        # loop is the streaming hot path.
+        rank = self.ranker.rank
+        process = self.engine.process
+        sample_interval = self.sample_interval
+        # Same rationale as the batch correlator: the drain loop is
+        # internal-only and cycle-free, so the cycle collector's
+        # full-heap scans are pure overhead here.  User code between
+        # chunks still runs with the collector in its original state.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
         start = time.perf_counter()
-        while True:
-            candidate = self.ranker.rank()
-            if candidate is None:
-                break
-            cag = self.engine.process(candidate)
-            if cag is not None:
-                finished.append(cag)
-            self._processed += 1
-            if self._processed % self.sample_interval == 0:
-                self._sample()
-        self._maybe_evict()
+        try:
+            while True:
+                candidate = rank()
+                if candidate is None:
+                    break
+                cag = process(candidate)
+                if cag is not None:
+                    finished.append(cag)
+                self._processed += 1
+                if self._processed % sample_interval == 0:
+                    self._sample()
+            self._maybe_evict()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         self._sample()
         self.processing_time += time.perf_counter() - start
         return finished

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import bisect
 import math
-from collections import deque
+from collections import Counter, deque
 from typing import Dict, Iterable, List, Optional
 
 from ..core.activity import Activity, sort_key
@@ -48,14 +48,15 @@ class GrowingSource(ActivitySource):
     at the consumption point (it cannot be sequenced earlier any more).
     """
 
-    def __init__(self, node: str) -> None:
-        super().__init__(node, [])
+    def __init__(self, node: str, registry: Optional[Counter] = None) -> None:
+        super().__init__(node, [], registry=registry)
         self._sort_keys: List[tuple] = []
         self._frontier: Optional[float] = None
 
     def extend(self, activities: Iterable[Activity]) -> None:
         """Add newly-ingested activities to the unconsumed tail."""
         self._trim_consumed()
+        registry = self._registry
         for activity in sorted(activities, key=sort_key):
             key = sort_key(activity)
             if not self._sort_keys or key >= self._sort_keys[-1]:
@@ -68,10 +69,13 @@ class GrowingSource(ActivitySource):
                 )
                 self._activities.insert(index, activity)
                 self._sort_keys.insert(index, key)
-            if activity.type.is_send_like:
+            if activity.send_like:
                 self._future_send_keys[activity.message_key] += 1
+                if registry is not None:
+                    registry[activity.message_key] += 1
             if self._frontier is None or activity.timestamp > self._frontier:
                 self._frontier = activity.timestamp
+        self._sync_next_timestamp()
 
     def latest_timestamp(self) -> Optional[float]:
         """Local timestamp of the newest activity ever ingested (the
@@ -138,10 +142,14 @@ class StreamingRanker(Ranker):
         for node, batch in per_node.items():
             source = self._sources.get(node)
             if source is None:
-                source = GrowingSource(node)
+                source = GrowingSource(node, registry=self._future_send_keys)
                 self._sources[node] = source
                 self._queues[node] = deque()
             source.extend(batch)
+        if count:
+            # Source frontiers moved: both cached minima are stale.
+            self._low_dirty = True
+            self._source_low_dirty = True
         if not self._sealed:
             self._update_ceiling()
         return count

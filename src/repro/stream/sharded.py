@@ -91,15 +91,18 @@ def partition_activities(
     """
     uf = _UnionFind()
     ordered = list(activities)
+    # Build each activity's graph keys once and reuse them for the find
+    # pass -- tuple construction is the dominant cost of partitioning a
+    # large trace, and ``context_key`` is already cached on the activity.
+    ctx_keys: List[Tuple[str, Tuple[str, str, int, int]]] = []
     for activity in ordered:
-        uf.union(
-            ("ctx", activity.context_key),
-            ("conn", activity.message.undirected_key()),
-        )
+        ctx = ("ctx", activity.context_key)
+        ctx_keys.append(ctx)
+        uf.union(ctx, ("conn", activity.message.undirected_key()))
 
     by_component: Dict[Hashable, List[Activity]] = {}
-    for activity in ordered:
-        root = uf.find(("ctx", activity.context_key))
+    for activity, ctx in zip(ordered, ctx_keys):
+        root = uf.find(ctx)
         by_component.setdefault(root, []).append(activity)
 
     components = list(by_component.values())

@@ -1,0 +1,84 @@
+"""Tests for the benchmark-results writer (the perf trajectory)."""
+
+import json
+
+from repro.experiments.bench import (
+    bench_dir,
+    compare_timing_rows,
+    load_bench_result,
+    write_bench_result,
+)
+from repro.experiments.figures import FigureResult
+
+
+def sample_result():
+    return FigureResult(
+        figure_id="fig9",
+        title="Correlation time vs. requests",
+        columns=["clients", "requests", "correlation_time_s"],
+        rows=[
+            {"clients": 100, "requests": 170, "correlation_time_s": 0.05},
+            {"clients": 300, "requests": 460, "correlation_time_s": 0.13},
+        ],
+        notes="unit-test sample",
+    )
+
+
+class TestBenchWriter:
+    def test_write_and_load_roundtrip(self, tmp_path):
+        path = write_bench_result(
+            sample_result(), label="unit test", directory=str(tmp_path)
+        )
+        assert path.name == "BENCH_fig9.json"
+        doc = load_bench_result(str(path))
+        assert doc["figure_id"] == "fig9"
+        assert doc["label"] == "unit test"
+        assert doc["rows"][0]["clients"] == 100
+        assert doc["columns"] == ["clients", "requests", "correlation_time_s"]
+        assert doc["python"]  # provenance recorded
+        assert doc["created_at"]
+
+    def test_explicit_scale_name_overrides_environment(self, tmp_path, monkeypatch):
+        # a caller that resolved the scale itself (e.g. `repro --scale full
+        # profile`) must record the scale it actually ran, not the env var
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        path = write_bench_result(
+            sample_result(), directory=str(tmp_path), scale_name="full"
+        )
+        assert load_bench_result(str(path))["scale"] == "full"
+
+    def test_default_scale_name_is_normalised(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "FULL")  # unnormalised env value
+        path = write_bench_result(sample_result(), directory=str(tmp_path))
+        assert load_bench_result(str(path))["scale"] == "full"
+
+    def test_bench_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "custom"))
+        target = bench_dir()
+        assert target == tmp_path / "custom"
+        assert target.is_dir()
+
+    def test_written_file_is_valid_json_with_trailing_newline(self, tmp_path):
+        path = write_bench_result(sample_result(), directory=str(tmp_path))
+        text = path.read_text(encoding="utf-8")
+        assert text.endswith("\n")
+        json.loads(text)
+
+
+class TestCompareTimingRows:
+    def test_speedup_per_matched_point(self):
+        baseline = [
+            {"clients": 100, "correlation_time_s": 0.10},
+            {"clients": 300, "correlation_time_s": 0.30},
+            {"clients": 999, "correlation_time_s": 1.00},  # only in baseline
+        ]
+        current = [
+            {"clients": 100, "correlation_time_s": 0.05},
+            {"clients": 300, "correlation_time_s": 0.10},
+            {"clients": 500, "correlation_time_s": 0.20},  # only in current
+        ]
+        rows = compare_timing_rows(baseline, current)
+        assert len(rows) == 2  # unmatched sweep points are skipped
+        by_key = {row["key"]: row for row in rows}
+        assert by_key[100.0]["speedup"] == 2.0
+        assert abs(by_key[300.0]["speedup"] - 3.0) < 1e-9

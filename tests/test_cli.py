@@ -100,6 +100,59 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["stream", "--input", "/tmp/nope.log"])
 
+    def test_profile_command_writes_bench_json_and_compares(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """`repro profile` writes the BENCH_*.json trajectory file and
+        prints the speedup against a baseline document (the figure
+        generator is stubbed so the test stays fast)."""
+        import json
+
+        import repro.experiments.figures as figures
+        from repro.experiments.figures import FigureResult
+
+        def fake_figure9(scale, cache=None):
+            return FigureResult(
+                figure_id="fig9",
+                title="stubbed",
+                columns=["clients", "requests", "activities", "correlation_time_s"],
+                rows=[
+                    {"clients": 100, "requests": 10, "activities": 50,
+                     "correlation_time_s": 0.05},
+                ],
+            )
+
+        monkeypatch.setattr(figures, "figure9", fake_figure9)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "figure_id": "fig9",
+                    "label": "old",
+                    "rows": [{"clients": 100, "correlation_time_s": 0.10}],
+                }
+            ),
+            encoding="utf-8",
+        )
+        out_dir = tmp_path / "bench"
+        code = main(
+            [
+                "profile",
+                "--output-dir",
+                str(out_dir),
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "BENCH_fig9.json" in output
+        assert "(2.00x)" in output
+        assert "aggregate: 2.00x" in output
+        written = json.loads((out_dir / "BENCH_fig9.json").read_text("utf-8"))
+        assert written["label"] == "repro profile"
+        assert written["rows"][0]["correlation_time_s"] == 0.05
+
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure", "fig99"])

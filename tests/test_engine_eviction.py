@@ -1,0 +1,187 @@
+"""Eviction tests for segmented messages and merge recency.
+
+Watermark eviction (streaming mode) interacts with the engine's n-to-n
+kernel-part merging in two subtle ways:
+
+* a pending SEND can be evicted while a *partial* RECEIVE is still
+  outstanding -- every piece of per-SEND bookkeeping (``_partial_receive``,
+  ``_owner`` once the CAG goes too) must be reclaimed with it, and a
+  recycled connection key must match the new traffic, never the ghost;
+* merging a late kernel part into an existing BEGIN/SEND/END vertex grows
+  the vertex in place without adding a new one, so the context's ``cmap``
+  recency and the open CAG's newest-activity timestamp must be refreshed
+  explicitly or eviction drops a *live* request (the bug fixed in this
+  PR; the streaming end-to-end version lives in ``tests/test_stream.py``).
+"""
+
+from repro.core.activity import Activity, ActivityType, ContextId, MessageId
+from repro.core.engine import CorrelationEngine
+
+WEB_CTX = ContextId("web", "httpd", 100, 100)
+CLIENT_KEY = ("10.9.0.1", 51000, "10.1.0.1", 80)
+CONN_KEY = ("10.1.0.1", 41000, "10.1.0.2", 8080)
+
+
+def act(activity_type, ts, ctx, msg_key, size, request_id=None):
+    src_ip, src_port, dst_ip, dst_port = msg_key
+    return Activity(
+        type=activity_type,
+        timestamp=ts,
+        context=ctx,
+        message=MessageId(src_ip, src_port, dst_ip, dst_port, size),
+        request_id=request_id,
+    )
+
+
+def open_request(engine, begin_ts=1.0, request_id=1):
+    begin = act(ActivityType.BEGIN, begin_ts, WEB_CTX, CLIENT_KEY, 400, request_id)
+    engine.process(begin)
+    return begin
+
+
+class TestSegmentedEviction:
+    def test_evicting_pending_send_drops_partial_receive_entry(self):
+        """A SEND whose RECEIVE only partially arrived is evicted: the
+        ``_partial_receive`` entry must go with it (no leak, no ghost
+        completion), while the rest of the CAG's state survives."""
+        engine = CorrelationEngine()
+        open_request(engine)
+        send = act(ActivityType.SEND, 1.1, WEB_CTX, CONN_KEY, 100, 1)
+        engine.process(send)
+        # a later SEND on another connection keeps the CAG's newest vertex
+        # fresh, so only the mmap entry is old enough to evict
+        other_key = ("10.1.0.1", 42000, "10.1.0.3", 3306)
+        late_send = act(ActivityType.SEND, 1.5, WEB_CTX, other_key, 50, 1)
+        engine.process(late_send)
+
+        partial = act(
+            ActivityType.RECEIVE,
+            1.15,
+            ContextId("app", "java", 250, 250),
+            CONN_KEY,
+            40,
+            1,
+        )
+        engine.process(partial)
+        assert engine.stats.partial_receives == 1
+        assert engine._partial_receive  # the partial match is parked
+
+        evicted = engine.evict_stale(before=1.3)
+        assert engine.stats.evicted_mmap_entries == 1
+        assert evicted >= 1
+        assert engine._partial_receive == {}  # reclaimed with its SEND
+        assert not engine.mmap.has_match(CONN_KEY)
+        assert engine.mmap.has_match(other_key)  # fresh entry untouched
+        assert len(engine.open_cags) == 1  # the CAG itself is still live
+
+        # the rest of the segmented RECEIVE now finds nothing: counted as
+        # unmatched, no crash, no bogus match against other state
+        rest = act(
+            ActivityType.RECEIVE,
+            1.35,
+            ContextId("app", "java", 250, 250),
+            CONN_KEY,
+            60,
+            1,
+        )
+        engine.process(rest)
+        assert engine.stats.unmatched_receives == 1
+
+    def test_evicted_then_recycled_connection_key_matches_new_traffic(self):
+        """After a whole request is evicted, a new request reusing the same
+        connection 4-tuple must match its own SEND -- and no ``_owner`` or
+        ``_partial_receive`` entries of the ghost may survive."""
+        engine = CorrelationEngine()
+        open_request(engine, begin_ts=1.0, request_id=1)
+        ghost_send = act(ActivityType.SEND, 1.1, WEB_CTX, CONN_KEY, 100, 1)
+        engine.process(ghost_send)
+        ghost_partial = act(
+            ActivityType.RECEIVE,
+            1.12,
+            ContextId("app", "java", 250, 250),
+            CONN_KEY,
+            30,
+            1,
+        )
+        engine.process(ghost_partial)
+
+        evicted = engine.evict_stale(before=2.0)
+        assert evicted >= 1
+        assert engine.stats.evicted_open_cags == 1
+        assert engine.stats.evicted_mmap_entries == 1
+        assert engine.open_cags == []
+        assert engine._owner == {}  # no stale ownership
+        assert engine._partial_receive == {}  # no stale partial matches
+        assert len(engine.mmap) == 0
+
+        # request 2 recycles the exact connection key
+        open_request(engine, begin_ts=3.0, request_id=2)
+        new_send = act(ActivityType.SEND, 3.1, WEB_CTX, CONN_KEY, 80, 2)
+        engine.process(new_send)
+        assert engine.mmap.match(CONN_KEY) is new_send  # never the ghost
+        receive = act(
+            ActivityType.RECEIVE,
+            3.15,
+            ContextId("app", "java", 251, 251),
+            CONN_KEY,
+            80,
+            2,
+        )
+        engine.process(receive)
+        assert not engine.mmap.has_match(CONN_KEY)  # fully matched
+        (cag,) = engine.open_cags
+        assert cag.request_ids() == {2}
+        assert engine._partial_receive == {}
+
+
+class TestMergeRecency:
+    def test_begin_part_merge_refreshes_cmap_and_cag_recency(self):
+        """Kernel parts of a request body merged into the BEGIN must count
+        as activity: without the refresh, eviction right after the merge
+        drops the live context and its CAG."""
+        engine = CorrelationEngine()
+        begin = open_request(engine, begin_ts=1.0)
+        part = act(ActivityType.BEGIN, 1.9, WEB_CTX, CLIENT_KEY, 200, 1)
+        engine.process(part)
+        assert begin.size == 600  # merged, no second CAG
+        assert len(engine.open_cags) == 1
+
+        (cag,) = engine.open_cags
+        assert cag.newest_timestamp == 1.9
+        assert engine.cmap.recency(WEB_CTX.as_tuple()) == 1.9
+
+        # eviction between the parts' span must not touch the request
+        engine.evict_stale(before=1.5)
+        assert len(engine.open_cags) == 1
+        assert engine.stats.evicted_open_cags == 0
+        assert engine.cmap.latest(WEB_CTX.as_tuple()) is begin
+
+    def test_send_part_merge_refreshes_recency(self):
+        engine = CorrelationEngine()
+        open_request(engine, begin_ts=1.0)
+        send = act(ActivityType.SEND, 1.1, WEB_CTX, CONN_KEY, 100, 1)
+        engine.process(send)
+        part = act(ActivityType.SEND, 1.9, WEB_CTX, CONN_KEY, 60, 1)
+        engine.process(part)
+        assert engine.stats.merged_sends == 1
+        (cag,) = engine.open_cags
+        assert cag.newest_timestamp == 1.9
+        assert engine.cmap.recency(WEB_CTX.as_tuple()) == 1.9
+        engine.evict_stale(before=1.5)
+        assert len(engine.open_cags) == 1
+        # the pending SEND itself is evictable by its first-part timestamp
+        # (its receiver went silent), but the CAG and context survive
+        assert engine.stats.evicted_open_cags == 0
+        assert engine.stats.evicted_cmap_entries == 0
+
+    def test_end_part_merge_refreshes_cmap_recency(self):
+        engine = CorrelationEngine()
+        begin = open_request(engine, begin_ts=1.0)
+        end = act(ActivityType.END, 1.2, WEB_CTX, CLIENT_KEY, 2000, 1)
+        engine.process(end)
+        assert begin is not None
+        assert engine.stats.finished_cags == 1
+        part = act(ActivityType.END, 1.9, WEB_CTX, CLIENT_KEY, 500, 1)
+        engine.process(part)
+        assert end.size == 2500  # merged into the finished END
+        assert engine.cmap.recency(WEB_CTX.as_tuple()) == 1.9

@@ -238,6 +238,70 @@ class TestDisturbances:
         assert index > 0
 
 
+class TestIdentityDelivery:
+    def test_deliver_removes_by_identity_not_equality(self):
+        """A value-equal sibling (same fields, even a forced-equal seq)
+        must never be dequeued in place of the selected activity -- the
+        head-swap path removes from mid-queue, where equality-based
+        ``deque.remove`` would silently take the first equal twin."""
+        first = act(ActivityType.SEND, 1.0, "n")
+        twin = act(ActivityType.SEND, 1.0, "n")
+        twin.seq = first.seq  # force full value equality
+        assert first == twin and first is not twin
+
+        ranker = Ranker({"n": [first, twin]}, MessageMap(), window=10.0)
+        ranker._refill()
+        assert ranker.buffered_count() == 2
+
+        # deliver the *second* twin while the first sits at the head, as
+        # the swap logic can after promoting a blocking SEND
+        delivered = ranker._deliver("n", twin)
+        assert delivered is twin
+        remaining = list(ranker.buffered_activities())
+        assert len(remaining) == 1
+        assert remaining[0] is first  # identity, not mere equality
+
+    def test_window_low_cache_invalidated_when_promotion_exposes_earlier_head(self):
+        """Delivering a promoted SEND from a non-low node can expose a
+        queue head *below* the cached window minimum (promotion breaks
+        the queues' timestamp monotonicity); the cache must notice, or
+        the next refill fetches beyond the true window and candidate
+        selection diverges."""
+        # node "m": a RECEIVE at t=2.0; node "n": a RECEIVE at t=1.0
+        # hiding a SEND at t=3.0 that will be promoted over it.
+        recv_m = act(ActivityType.RECEIVE, 2.0, "m", src=("7.7.7.7", 70))
+        recv_n = act(ActivityType.RECEIVE, 1.0, "n", src=("8.8.8.8", 80))
+        send_x = act(ActivityType.SEND, 3.0, "n")
+        ranker = Ranker(
+            {"m": [recv_m], "n": [recv_n, send_x]}, MessageMap(), window=10.0
+        )
+        ranker._refill()
+        ranker._promote_send("n", send_x)  # queue n: [send(3.0), recv(1.0)]
+        assert ranker._window_low() == 2.0  # heads are 3.0 (n) and 2.0 (m)
+        delivered = ranker._deliver("n", send_x)  # exposes recv(1.0) on n
+        assert delivered is send_x
+        assert ranker._window_low() == 1.0  # not the stale cached 2.0
+
+    def test_promoted_send_is_delivered_itself(self):
+        """After a Fig. 6 promotion the rotated SEND is the queue head and
+        must be the delivered object, with the buffered-send index kept
+        consistent for its value-equal sibling."""
+        blocker = act(ActivityType.RECEIVE, 1.0, "n", src=("9.9.9.9", 1))
+        first = act(ActivityType.SEND, 1.1, "n")
+        twin = act(ActivityType.SEND, 1.1, "n")
+        twin.seq = first.seq
+        ranker = Ranker({"n": [blocker, first, twin]}, MessageMap(), window=10.0)
+        ranker._refill()
+        ranker._promote_send("n", twin)
+        assert ranker.stats.head_swaps == 1
+        delivered = ranker._deliver("n", twin)
+        assert delivered is twin
+        # the sibling SEND is still indexed as buffered under its key
+        found = ranker._find_buffered_send(first.message_key)
+        assert found is not None
+        assert found[1] is first
+
+
 class TestStats:
     def test_max_buffered_tracks_window_growth(self):
         trace = SyntheticTrace()

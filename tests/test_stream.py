@@ -242,6 +242,57 @@ class TestWatermarkEviction:
         batch = Correlator(window=0.010).correlate(loaded_run.activities())
         assert finished == len(batch.cags)
 
+    def test_multipart_begin_straddling_horizon_is_not_evicted(self):
+        """Merge-recency regression: a request whose body arrives in many
+        kernel parts spanning more than the horizon is still *live* -- each
+        merged part must refresh the context/CAG recency so watermark
+        eviction does not drop it before the request's real work starts."""
+        from repro.core.activity import Activity, ActivityType, ContextId, MessageId
+
+        web = ContextId("web", "httpd", 100, 100)
+        app = ContextId("app", "java", 250, 250)
+        client_key = ("10.9.0.1", 51000, "10.1.0.1", 80)
+        conn = ("10.1.0.1", 41000, "10.1.0.2", 8080)
+
+        def build(activity_type, ts, ctx, key, size):
+            src_ip, src_port, dst_ip, dst_port = key
+            return Activity(
+                type=activity_type,
+                timestamp=ts,
+                context=ctx,
+                message=MessageId(src_ip, src_port, dst_ip, dst_port, size),
+                request_id=1,
+            )
+
+        horizon = 1.0
+        activities = [
+            # request body drips in over 1.35 s -- longer than the horizon
+            build(ActivityType.BEGIN, 0.00, web, client_key, 100),
+            build(ActivityType.BEGIN, 0.45, web, client_key, 100),
+            build(ActivityType.BEGIN, 0.90, web, client_key, 100),
+            build(ActivityType.BEGIN, 1.35, web, client_key, 100),
+            # then the request actually executes
+            build(ActivityType.SEND, 1.50, web, conn, 600),
+            build(ActivityType.RECEIVE, 1.55, app, conn, 600),
+            build(ActivityType.SEND, 1.60, app, ("10.1.0.2", 8080, "10.1.0.1", 41000), 2000),
+            build(ActivityType.RECEIVE, 1.65, web, ("10.1.0.2", 8080, "10.1.0.1", 41000), 2000),
+            build(ActivityType.END, 1.70, web, ("10.1.0.1", 80, "10.9.0.1", 51000), 2000),
+            # unrelated tail traffic keeps the watermark moving past the END
+            build(ActivityType.BEGIN, 3.00, ContextId("web", "httpd", 101, 101),
+                  ("10.9.0.2", 52000, "10.1.0.1", 80), 50),
+        ]
+        engine = IncrementalEngine(window=0.010, horizon=horizon, skew_bound=0.001)
+        finished = []
+        for chunk in iter_chunks(sorted(activities, key=sort_key), 1):
+            finished.extend(engine.ingest(chunk))
+        finished.extend(engine.flush())
+
+        assert len(finished) == 1  # the multi-part request completed
+        cag = finished[0]
+        assert cag.request_ids() == {1}
+        assert cag.root.size == 400  # all four body parts merged
+        assert engine.engine.stats.evicted_open_cags == 0
+
     def test_short_horizon_trades_accuracy_for_memory(self):
         # Two requests 10 s apart with an idle gap; a tiny horizon evicts
         # the idle context state but still completes each request.
