@@ -1,0 +1,25 @@
+"""Scenario library -- accuracy across every topology.
+
+Not a figure of the paper (which validates on one deployment); the
+topology subsystem's generalisation of its Section 5.2 claim: 100 %
+path accuracy on every scenario of the library -- deep chains,
+fan-out/join, cache-aside, replication behind a round-robin LB -- under
+closed-loop, open-loop Poisson and bursty workloads.
+"""
+
+from conftest import run_once
+from repro.experiments.figures import scenario_accuracy
+from repro.topology.library import scenario_names
+
+
+def test_bench_scenario_accuracy(benchmark, scale, cache):
+    result = run_once(benchmark, lambda: scenario_accuracy(scale, cache))
+    assert [row["scenario"] for row in result.rows] == scenario_names()
+    for row in result.rows:
+        assert row["accuracy"] == 1.0, f"accuracy dropped below 100% for {row}"
+        assert row["false_positives"] == 0
+        assert row["false_negatives"] == 0
+        assert row["requests"] > 0
+    kinds = {row["workload"] for row in result.rows}
+    assert {"closed", "open", "bursty"} <= kinds
+    assert max(row["tiers"] for row in result.rows) >= 5

@@ -67,6 +67,18 @@ from .services.rubis import (
     WorkloadStages,
     run_rubis,
 )
+from .topology import (
+    Scenario,
+    ScenarioConfig,
+    TierSpec,
+    TopologyDeployment,
+    TopologyRunResult,
+    TopologySpec,
+    WorkloadSpec,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
 
 __version__ = "0.1.0"
 
@@ -100,10 +112,17 @@ __all__ = [
     "RubisConfig",
     "RubisDeployment",
     "RubisRunResult",
+    "Scenario",
+    "ScenarioConfig",
     "SegmentChange",
     "ShardedCorrelator",
     "StreamingCorrelator",
+    "TierSpec",
+    "TopologyDeployment",
+    "TopologyRunResult",
+    "TopologySpec",
     "TraceResult",
+    "WorkloadSpec",
     "WorkloadStages",
     "__version__",
     "average_breakdown",
@@ -116,5 +135,8 @@ __all__ = [
     "path_accuracy",
     "percentage_table",
     "profile_series",
+    "get_scenario",
     "run_rubis",
+    "run_scenario",
+    "scenario_names",
 ]

@@ -11,6 +11,9 @@ Examples::
     # run one simulated experiment and print trace statistics
     precisetracer trace --clients 300 --window 0.01
 
+    # run a scenario from the topology library (simulate --list shows all)
+    precisetracer simulate --scenario fanout_aggregator
+
     # correlate online: simulate, then replay the logs incrementally
     precisetracer stream --clients 150 --horizon 5
 
@@ -26,6 +29,11 @@ Commands
     Regenerate the paper's evaluation tables (Section 5).
 ``trace``
     Run one simulated experiment and batch-trace it (Fig. 2 pipeline).
+``simulate``
+    Run one scenario from the topology library (``--scenario``; see
+    ``simulate --list``) and batch-trace it: the RUBiS deployment, a
+    five-tier chain, a fan-out aggregator, cache-aside, or a replicated
+    tier behind a round-robin LB -- each with its own workload shape.
 ``stream``
     The online pipeline (``repro.stream``): chunked ingestion ->
     incremental correlation with watermark eviction -> CAGs emitted as
@@ -109,9 +117,53 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     trace_parser.add_argument("--seed", type=int, default=17)
 
+    simulate_parser = subparsers.add_parser(
+        "simulate",
+        help="run one scenario from the topology library and trace it",
+    )
+    simulate_parser.add_argument(
+        "--scenario",
+        default="rubis",
+        metavar="NAME",
+        help="scenario name (see --list; default: rubis)",
+    )
+    simulate_parser.add_argument(
+        "--list", action="store_true", help="list available scenarios and exit"
+    )
+    simulate_parser.add_argument(
+        "--clients", type=int, default=None, help="closed-loop sessions (scenario default)"
+    )
+    simulate_parser.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=None,
+        help="open/bursty arrivals per second (scenario default)",
+    )
+    simulate_parser.add_argument(
+        "--workload-kind",
+        choices=["closed", "open", "bursty"],
+        default=None,
+        help="override the scenario's workload shape",
+    )
+    simulate_parser.add_argument("--window", type=float, default=0.010)
+    simulate_parser.add_argument("--runtime", type=float, default=8.0)
+    simulate_parser.add_argument("--noise", action="store_true", help="enable noise traffic")
+    simulate_parser.add_argument(
+        "--fault",
+        choices=["none", "ejb_delay", "database_lock", "ejb_network"],
+        default="none",
+    )
+    simulate_parser.add_argument("--seed", type=int, default=17)
+
     stream_parser = subparsers.add_parser(
         "stream",
         help="correlate incrementally (online mode), from a simulation or a log file",
+    )
+    stream_parser.add_argument(
+        "--scenario",
+        default="rubis",
+        metavar="NAME",
+        help="scenario to simulate when no --input is given (default: rubis)",
     )
     stream_parser.add_argument(
         "--input",
@@ -148,7 +200,12 @@ def _build_parser() -> argparse.ArgumentParser:
             "(0 = incremental; --horizon/--skew-bound/--chunk-size do not apply)"
         ),
     )
-    stream_parser.add_argument("--clients", type=int, default=100)
+    stream_parser.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        help="closed-loop sessions (default: 100 for rubis, scenario default otherwise)",
+    )
     stream_parser.add_argument("--runtime", type=float, default=6.0)
     stream_parser.add_argument("--seed", type=int, default=17)
 
@@ -194,6 +251,12 @@ def _fault_from_name(name: str) -> FaultConfig:
     }[name]
 
 
+def _fail(message: str) -> int:
+    """One-line error on stderr, exit status 2 (no traceback)."""
+    print(f"precisetracer: error: {message}", file=sys.stderr)
+    return 2
+
+
 def _command_trace(args: argparse.Namespace) -> int:
     config = RubisConfig(
         clients=args.clients,
@@ -220,6 +283,59 @@ def _command_trace(args: argparse.Namespace) -> int:
     print("latency percentages of the dominant pattern:")
     for label, value in sorted(profile.percentages.items()):
         print(f"  {label:16s} {value:6.1f} %")
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    """Run one scenario from the topology library and batch-trace it."""
+    from .topology.library import ScenarioConfig, get_scenario, scenario_names
+    from .topology.workload import WorkloadStages
+
+    if args.list:
+        for name in scenario_names():
+            print(f"{name:20s} {get_scenario(name).description}")
+        return 0
+    if args.scenario not in scenario_names():
+        return _fail(
+            f"unknown scenario {args.scenario!r}; available scenarios: "
+            f"{', '.join(scenario_names())}"
+        )
+    scenario = get_scenario(args.scenario)
+    config = ScenarioConfig(
+        scenario=args.scenario,
+        clients=args.clients,
+        arrival_rate=args.arrival_rate,
+        workload_kind=args.workload_kind,
+        stages=WorkloadStages(up_ramp=1.5, runtime=args.runtime, down_ramp=0.5),
+        noise=NoiseConfig.paper_noise() if args.noise else NoiseConfig.quiet(),
+        faults=_fault_from_name(args.fault),
+        seed=args.seed,
+    )
+    from .topology.library import run_scenario
+
+    run = run_scenario(config)
+    trace = run.trace(window=args.window)
+    accuracy = trace.accuracy(run.ground_truth)
+    tier_list = ", ".join(
+        f"{tier.name}({tier.role}" + (f" x{tier.replicas})" if tier.replicas > 1 else ")")
+        for tier in scenario.topology.front_to_back()
+    )
+    print(f"scenario                : {scenario.name} -- {scenario.description}")
+    print(f"tiers                   : {tier_list}")
+    print(f"workload                : {run.workload.kind}")
+    print(f"simulated duration      : {run.simulated_duration:.1f} s")
+    print(f"requests completed      : {run.completed_requests}")
+    print(f"throughput              : {run.throughput:.1f} req/s")
+    print(f"mean response time      : {run.mean_response_time * 1000:.1f} ms")
+    print(f"activities logged       : {run.total_activities}")
+    print(f"causal paths (CAGs)     : {trace.request_count}")
+    print(f"path patterns           : {len(trace.patterns())}")
+    print(f"correlation time        : {trace.correlation_time:.3f} s")
+    print(f"path accuracy           : {accuracy.accuracy * 100:.2f} %")
+    profile = trace.profile(scenario.name)
+    print("latency percentages of the dominant pattern:")
+    for label, value in sorted(profile.percentages.items()):
+        print(f"  {label:24s} {value:6.1f} %")
     return 0
 
 
@@ -261,22 +377,39 @@ def _command_stream(args: argparse.Namespace) -> int:
         import os
 
         if not os.path.exists(args.input):
-            raise SystemExit(f"--input file not found: {args.input}")
+            return _fail(f"--input file not found: {args.input}")
         stream = ActivityStream(frontends=[_parse_frontend(args.frontend)])
         tail = FileTailSource(args.input)
         lines = tail.drain()
     else:
-        config = RubisConfig(
-            clients=args.clients,
-            stages=WorkloadStages(up_ramp=1.0, runtime=args.runtime, down_ramp=0.5),
-            seed=args.seed,
-        )
-        print(f"== simulating {args.clients} clients for {args.runtime:.0f} s ==")
-        run = run_rubis(config)
+        stages = WorkloadStages(up_ramp=1.0, runtime=args.runtime, down_ramp=0.5)
+        if args.scenario == "rubis":
+            clients = args.clients if args.clients is not None else 100
+            config = RubisConfig(clients=clients, stages=stages, seed=args.seed)
+            print(f"== simulating {clients} clients for {args.runtime:.0f} s ==")
+            run = run_rubis(config)
+        else:
+            from .topology.library import ScenarioConfig, run_scenario, scenario_names
+
+            if args.scenario not in scenario_names():
+                return _fail(
+                    f"unknown scenario {args.scenario!r}; available scenarios: "
+                    f"{', '.join(scenario_names())}"
+                )
+            print(f"== simulating scenario {args.scenario} for {args.runtime:.0f} s ==")
+            run = run_scenario(
+                ScenarioConfig(
+                    scenario=args.scenario,
+                    clients=args.clients,
+                    stages=stages,
+                    seed=args.seed,
+                )
+            )
         print(f"requests completed      : {run.completed_requests}")
         print(f"activities logged       : {run.total_activities}")
         stream = ActivityStream(
-            frontends=[run.frontend_spec()], ignore_programs={"sshd", "rlogind"}
+            frontends=[run.frontend_spec()],
+            ignore_programs=set(run.topology.ignore_programs),
         )
         records = sorted(run.all_records(), key=lambda r: r.timestamp)
         lines = [format_record(record) for record in records]
@@ -430,6 +563,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "trace":
         return _command_trace(args)
+    if args.command == "simulate":
+        return _command_simulate(args)
     if args.command == "stream":
         return _command_stream(args)
     if args.command == "profile":

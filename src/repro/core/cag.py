@@ -165,6 +165,36 @@ class CAG:
             self.newest_timestamp = activity.timestamp
         return edge
 
+    def splice_context_vertex(
+        self, before: Activity, after: Activity, vertex: Activity
+    ) -> None:
+        """Rewire the context chain ``before -> after`` into
+        ``before -> vertex -> after``.
+
+        ``vertex`` must already be a vertex of this CAG (typically added
+        with its message parent).  Used by the engine when a multi-part
+        RECEIVE completes its byte count only after a later same-context
+        activity was chained: inserting at the timestamp position keeps
+        the context chain independent of the delivery interleaving.
+        """
+        if id(vertex) not in self._vertex_ids:
+            raise CAGError("splice vertex is not a vertex of this CAG")
+        for edge in self._parents.get(id(vertex), []):
+            if edge.kind == CONTEXT_EDGE:
+                raise CAGError("splice vertex already has a context parent")
+        removed = None
+        for edge in self._parents.get(id(after), []):
+            if edge.kind == CONTEXT_EDGE and edge.parent is before:
+                removed = edge
+                break
+        if removed is None:
+            raise CAGError("no context edge between the given vertices")
+        self._edges.remove(removed)
+        self._parents[id(after)].remove(removed)
+        self._children[id(before)].remove(removed)
+        self.add_edge(before, vertex, CONTEXT_EDGE)
+        self.add_edge(vertex, after, CONTEXT_EDGE)
+
     def finish(self) -> None:
         """Mark the CAG as complete (an END activity was correlated)."""
         self.finished = True

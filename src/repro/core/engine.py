@@ -37,6 +37,11 @@ class EngineStats:
     receives: int = 0
     merged_sends: int = 0
     partial_receives: int = 0
+    #: multi-part RECEIVEs whose byte count balanced only after a later
+    #: same-context activity was chained (concurrent fan-out gathers);
+    #: they are spliced into the context chain at their timestamp
+    #: position, keeping the chain delivery-order independent.
+    spliced_receives: int = 0
     unmatched_receives: int = 0
     unmatched_sends: int = 0
     unmatched_ends: int = 0
@@ -285,6 +290,23 @@ class CorrelationEngine:
         parent_cntx = self._cmap_latest.get(key)
         if parent_cntx is not None and parent_cntx is not current:
             if self._owner.get(id(parent_cntx)) is cag:
+                if (current.timestamp, current.seq) < (
+                    parent_cntx.timestamp,
+                    parent_cntx.seq,
+                ):
+                    # Late completion: this logical message balanced its
+                    # bytes only after a later same-context activity was
+                    # already chained (possible when one context gathers
+                    # from several connections concurrently, as the exact
+                    # interleaving of part deliveries across nodes is
+                    # window-population dependent).  Splice the vertex in
+                    # at its timestamp position so the context chain is
+                    # identical however deliveries interleaved -- the
+                    # property the sharded driver's batch-equivalence
+                    # rests on.  The newer activity stays the cmap entry.
+                    self._splice_in_order(cag, current, parent_cntx)
+                    self.stats.spliced_receives += 1
+                    return
                 cag.add_edge(parent_cntx, current, CONTEXT_EDGE)
             else:
                 # Thread-reuse guard: the latest activity of this execution
@@ -293,6 +315,31 @@ class CorrelationEngine:
                 self.stats.thread_reuse_blocked += 1
         self._cmap_latest[key] = current
         self._cmap_recency[key] = current.timestamp
+
+    def _splice_in_order(self, cag: CAG, current: Activity, latest: Activity) -> None:
+        """Insert ``current`` into the context chain before ``latest``.
+
+        Walk the chain backwards from ``latest`` to the first activity
+        not after ``current`` (by (timestamp, seq), the per-node sort
+        order) and rewire the chain around ``current``.
+        """
+        after = latest
+        while True:
+            edge = None
+            for candidate in cag.parents_of(after):
+                if candidate.kind == CONTEXT_EDGE:
+                    edge = candidate
+                    break
+            if edge is None:
+                # ``current`` precedes every chained activity: it becomes
+                # the new chain head in front of ``after``.
+                cag.add_edge(current, after, CONTEXT_EDGE)
+                return
+            before = edge.parent
+            if (before.timestamp, before.seq) <= (current.timestamp, current.seq):
+                cag.splice_context_vertex(before, after, current)
+                return
+            after = before
 
     # -- watermark eviction (streaming mode) --------------------------------------
 

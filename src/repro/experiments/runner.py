@@ -19,18 +19,27 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..core.tracer import TraceResult
-from ..services.rubis.deployment import RubisConfig, RubisRunResult, run_rubis
+from ..services.rubis.deployment import RubisRunResult, run_rubis
 from ..stream import ShardedCorrelator, StreamingCorrelator
+from ..topology.library import ScenarioConfig, run_scenario
 
 
-def config_key(config: RubisConfig) -> str:
+def config_key(config) -> str:
     """A stable identity for a run configuration.
 
-    ``RubisConfig`` is a tree of frozen/simple dataclasses, so its repr is
-    deterministic and complete; using it as the cache key avoids writing a
-    bespoke hash for every nested field.
+    ``RubisConfig`` and ``ScenarioConfig`` are trees of frozen/simple
+    dataclasses, so their reprs are deterministic and complete (and the
+    class name disambiguates the two); using the repr as the cache key
+    avoids writing a bespoke hash for every nested field.
     """
-    return repr(config)
+    return f"{type(config).__name__}:{config!r}"
+
+
+def execute_config(config) -> RubisRunResult:
+    """Run whichever simulation the config describes (RUBiS or scenario)."""
+    if isinstance(config, ScenarioConfig):
+        return run_scenario(config)
+    return run_rubis(config)
 
 
 @dataclass
@@ -41,14 +50,14 @@ class RunCache:
     hits: int = 0
     misses: int = 0
 
-    def get(self, config: RubisConfig) -> RubisRunResult:
+    def get(self, config) -> RubisRunResult:
         key = config_key(config)
         cached = self.runs.get(key)
         if cached is not None:
             self.hits += 1
             return cached
         self.misses += 1
-        result = run_rubis(config)
+        result = execute_config(config)
         self.runs[key] = result
         return result
 
@@ -66,8 +75,13 @@ class RunCache:
 SHARED_CACHE = RunCache()
 
 
-def get_run(config: RubisConfig, cache: Optional[RunCache] = None) -> RubisRunResult:
-    """Fetch (or execute) the run for ``config`` using the shared cache."""
+def get_run(config, cache: Optional[RunCache] = None) -> RubisRunResult:
+    """Fetch (or execute) the run for ``config`` using the shared cache.
+
+    Accepts a :class:`~repro.services.rubis.deployment.RubisConfig` or a
+    :class:`~repro.topology.library.ScenarioConfig`; both cache under
+    their repr.
+    """
     target = cache if cache is not None else SHARED_CACHE
     return target.get(config)
 
@@ -90,7 +104,7 @@ def stream_trace(
     unchanged to the streaming output.
     """
     if skew_bound is None:
-        skew_bound = max(run.config.clock_skew * 2.0, 1e-4)
+        skew_bound = max(run.clock_skew * 2.0, 1e-4)
     correlator = StreamingCorrelator(
         window=window,
         horizon=horizon,

@@ -1,8 +1,20 @@
-"""RUBiS-like three-tier service model (the paper's target application)."""
+"""RUBiS-like three-tier service model (the paper's target application).
 
-from .appserver import AppServerTier
-from .client import ClientEmulator, ClientMetrics, CompletedRequest, WorkloadStages
-from .database import DatabaseTier
+Since the topology refactor the three tiers are interpreted from the
+``rubis`` entry of the scenario library (:mod:`repro.topology.library`)
+by the generic tier engine (:mod:`repro.topology.engine`); this package
+keeps the catalogue, the configuration API and the historical import
+paths.
+"""
+
+from .client import (
+    BurstyEmulator,
+    ClientEmulator,
+    ClientMetrics,
+    CompletedRequest,
+    OpenLoopEmulator,
+    WorkloadStages,
+)
 from .deployment import (
     APP_IP,
     APP_PORT,
@@ -16,7 +28,6 @@ from .deployment import (
     run_rubis,
 )
 from .groundtruth import GroundTruthRecorder, RubisRequest
-from .httpd import HttpdTier
 from .requests import (
     BROWSE_ONLY_MIX,
     CATALOG,
@@ -33,8 +44,8 @@ from .requests import (
 __all__ = [
     "APP_IP",
     "APP_PORT",
-    "AppServerTier",
     "BROWSE_ONLY_MIX",
+    "BurstyEmulator",
     "CATALOG",
     "ClientEmulator",
     "ClientMetrics",
@@ -42,9 +53,8 @@ __all__ = [
     "DB_IP",
     "DB_PORT",
     "DEFAULT_MIX",
-    "DatabaseTier",
     "GroundTruthRecorder",
-    "HttpdTier",
+    "OpenLoopEmulator",
     "QuerySpec",
     "RequestType",
     "RubisConfig",

@@ -7,42 +7,55 @@ on every service node.  One call to :func:`run_rubis` performs a complete
 experiment run and returns the gathered per-node logs, the ground truth
 and the client-side metrics; :meth:`RubisRunResult.trace` then runs
 PreciseTracer over the logs.
+
+Since the topology refactor the three tiers are no longer hand-written
+classes: the deployment is the ``rubis`` entry of the scenario library
+(:func:`repro.topology.library.rubis_topology`) interpreted by the
+generic tier engine, and :class:`RubisDeployment` is a thin facade over
+:class:`~repro.topology.deployment.TopologyDeployment` that keeps the
+historical construction API (``RubisConfig``) and attribute names
+(``web_node``, ``appserver``, ...).  The interpreted spec reproduces the
+original tiers byte for byte (same RNG streams, same activity sequence).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Optional
 
-from ...core.accuracy import GroundTruthRequest
-from ...core.activity import Activity
-from ...core.log_format import ActivityClassifier, FrontendSpec, RawRecord
-from ...core.tracer import PreciseTracer, TraceResult
-from ...sim.clock import NodeClock, spread_skews
-from ...sim.kernel import Environment
-from ...sim.network import Network, NetworkFabric, SegmentationPolicy
-from ...sim.node import Node
-from ...sim.randomness import RandomStreams
-from ...sim.tcp_trace import DEFAULT_PROBE_OVERHEAD, TraceCollector
+from ...sim.network import SegmentationPolicy
+from ...sim.tcp_trace import DEFAULT_PROBE_OVERHEAD
+from ...topology.deployment import (
+    TopologyDeployment,
+    TopologyRunResult,
+    settings_from,
+)
+from ...topology.library import (
+    RUBIS_APP_IP,
+    RUBIS_APP_PORT,
+    RUBIS_CLIENT_IPS,
+    RUBIS_DB_IP,
+    RUBIS_DB_PORT,
+    RUBIS_WEB_IP,
+    RUBIS_WEB_PORT,
+    rubis_topology,
+)
+from ...topology.spec import WorkloadSpec
+from ...topology.workload import WorkloadStages
 from ..faults import FaultConfig
-from ..noise import MysqlClientNoiseGenerator, NoiseConfig, SshNoiseGenerator
-from .appserver import AppServerTier
-from .client import ClientEmulator, ClientMetrics, WorkloadStages
-from .database import DatabaseTier
-from .groundtruth import GroundTruthRecorder
-from .httpd import HttpdTier
-from .requests import mix_by_name
+from ..noise import NoiseConfig
+from .requests import WORKLOAD_MIXES, mix_by_name
 
 #: Addresses of the emulated cluster (one service tier per node, as in Fig. 7).
-WEB_IP = "10.0.0.1"
-APP_IP = "10.0.0.2"
-DB_IP = "10.0.0.3"
-CLIENT_IPS = ("10.0.1.1", "10.0.1.2", "10.0.1.3")
+WEB_IP = RUBIS_WEB_IP
+APP_IP = RUBIS_APP_IP
+DB_IP = RUBIS_DB_IP
+CLIENT_IPS = RUBIS_CLIENT_IPS
 WORKSTATION_IP = "10.0.2.1"
 
-WEB_PORT = 80
-APP_PORT = 8080
-DB_PORT = 3306
+WEB_PORT = RUBIS_WEB_PORT
+APP_PORT = RUBIS_APP_PORT
+DB_PORT = RUBIS_DB_PORT
 
 
 @dataclass
@@ -83,231 +96,81 @@ class RubisConfig:
     #: CPUs per service node (the paper's nodes are 2-way SMPs)
     cpus_per_node: int = 2
 
+    def __post_init__(self) -> None:
+        # Validate eagerly: a typo'd mix name fails here with the valid
+        # names listed, not as a KeyError deep inside the run.
+        if self.workload not in WORKLOAD_MIXES:
+            known = ", ".join(sorted(WORKLOAD_MIXES))
+            raise ValueError(
+                f"unknown workload {self.workload!r}; valid workloads: {known}"
+            )
+
     def with_overrides(self, **kwargs) -> "RubisConfig":
         """A copy of this config with some fields replaced."""
         return replace(self, **kwargs)
 
 
-@dataclass
-class RubisRunResult:
-    """Everything produced by one experiment run."""
-
-    config: RubisConfig
-    metrics: ClientMetrics
-    ground_truth: Dict[int, GroundTruthRequest]
-    records_by_node: Dict[str, List[RawRecord]]
-    total_activities: int
-    simulated_duration: float
-    requests_issued: int
-    requests_served_frontend: int
-    cpu_utilisation: Dict[str, float]
-    noise_activities: int = 0
-
-    # -- tracing ------------------------------------------------------------
-
-    def frontend_spec(self) -> FrontendSpec:
-        """Network-level description of the service entry point."""
-        return FrontendSpec(
-            ip=WEB_IP,
-            port=WEB_PORT,
-            internal_ips=frozenset({WEB_IP, APP_IP, DB_IP}),
-        )
-
-    def make_tracer(self, window: float = 0.010) -> PreciseTracer:
-        """A PreciseTracer configured for this deployment.
-
-        ``sshd``/``rlogind`` noise is filtered by program name, exactly as
-        in Section 5.3.3; mysql-client noise cannot be filtered this way
-        and is left to the ranker's ``is_noise`` test.
-        """
-        return PreciseTracer(
-            frontends=[self.frontend_spec()],
-            window=window,
-            ignore_programs={"sshd", "rlogind"},
-        )
-
-    def all_records(self) -> List[RawRecord]:
-        records: List[RawRecord] = []
-        for node_records in self.records_by_node.values():
-            records.extend(node_records)
-        return records
-
-    def activities(self, window_classifier: Optional[ActivityClassifier] = None) -> List[Activity]:
-        """Typed activities of the whole trace (classified, noise-filtered)."""
-        classifier = window_classifier or ActivityClassifier(
-            frontends=[self.frontend_spec()],
-            ignore_programs={"sshd", "rlogind"},
-        )
-        return classifier.classify_all(self.all_records())
-
-    def trace(self, window: float = 0.010) -> TraceResult:
-        """Run PreciseTracer over the gathered logs."""
-        return self.make_tracer(window=window).trace_records(self.all_records())
-
-    # -- metrics shortcuts -----------------------------------------------------
-
-    @property
-    def throughput(self) -> float:
-        return self.metrics.throughput()
-
-    @property
-    def mean_response_time(self) -> float:
-        return self.metrics.mean_response_time()
-
-    @property
-    def completed_requests(self) -> int:
-        return self.metrics.completed_count
+#: Everything produced by one experiment run (now topology-generic; the
+#: historical name is kept for the public API).
+RubisRunResult = TopologyRunResult
 
 
-class RubisDeployment:
-    """Builds the simulated cluster for one configuration."""
+class RubisDeployment(TopologyDeployment):
+    """Builds the simulated cluster for one configuration.
+
+    A facade: translates the :class:`RubisConfig` into the ``rubis``
+    topology/workload specs and exposes the tiers under their historical
+    names.
+    """
 
     def __init__(self, config: RubisConfig) -> None:
-        self.config = config
-        self.env = Environment()
-        self.rng = RandomStreams(seed=config.seed)
-        self.ground_truth = GroundTruthRecorder()
-
-        skews = spread_skews(["www", "app", "db"], config.clock_skew)
-        self.web_node = Node(self.env, "www", WEB_IP, cpus=config.cpus_per_node, clock=skews["www"])
-        self.app_node = Node(self.env, "app", APP_IP, cpus=config.cpus_per_node, clock=skews["app"])
-        self.db_node = Node(self.env, "db", DB_IP, cpus=config.cpus_per_node, clock=skews["db"])
-        self.client_nodes = [
-            Node(self.env, f"client{i + 1}", ip, cpus=2, clock=NodeClock())
-            for i, ip in enumerate(CLIENT_IPS)
-        ]
-        self.workstation = Node(self.env, "workstation", WORKSTATION_IP, cpus=2)
-
-        fabric = NetworkFabric(
-            self.env,
-            base_latency=config.network_latency,
-            bandwidth_bytes_per_s=config.network_bandwidth_mbps * 1e6 / 8.0,
-        )
-        if config.faults.ejb_network is not None:
-            config.faults.ejb_network.apply(fabric, self.app_node.hostname)
-        self.network = Network(self.env, fabric=fabric, segmentation=config.segmentation)
-
-        self.collector = TraceCollector()
-        if config.tracing_enabled:
-            for node in (self.web_node, self.app_node, self.db_node):
-                self.collector.attach(node, overhead_per_activity=config.probe_overhead)
-
-        self.database = DatabaseTier(
-            self.env,
-            self.db_node,
-            self.network,
-            self.ground_truth,
-            self.rng,
-            listen_port=DB_PORT,
-            engine_slots=config.db_engine_slots,
-            faults=config.faults,
-        )
-        self.appserver = AppServerTier(
-            self.env,
-            self.app_node,
-            self.network,
-            self.ground_truth,
-            self.rng,
-            db_ip=DB_IP,
-            db_port=DB_PORT,
-            listen_port=APP_PORT,
+        topology = rubis_topology(
+            httpd_workers=config.httpd_workers,
             max_threads=config.max_threads,
-            faults=config.faults,
+            db_engine_slots=config.db_engine_slots,
         )
-        self.httpd = HttpdTier(
-            self.env,
-            self.web_node,
-            self.network,
-            self.ground_truth,
-            self.rng,
-            app_ip=APP_IP,
-            app_port=APP_PORT,
-            listen_port=WEB_PORT,
-            workers=config.httpd_workers,
-        )
-
-        self.emulator = ClientEmulator(
-            self.env,
-            self.network,
-            self.client_nodes,
-            frontend_ip=WEB_IP,
-            frontend_port=WEB_PORT,
-            ground_truth=self.ground_truth,
-            rng=self.rng,
-            mix=mix_by_name(config.workload),
-            num_clients=config.clients,
+        workload = WorkloadSpec(
+            kind="closed",
+            clients=config.clients,
             think_time=config.think_time,
             stages=config.stages,
         )
-
-        stop_at = config.stages.new_request_deadline
-        self.noise_generators = []
-        if config.noise.enabled:
-            self.noise_generators.append(
-                SshNoiseGenerator(
-                    self.env,
-                    self.network,
-                    traced_node=self.web_node,
-                    external_node=self.workstation,
-                    config=config.noise,
-                    rng=self.rng,
-                    program="sshd",
-                    stop_at=stop_at,
-                )
-            )
-            self.noise_generators.append(
-                SshNoiseGenerator(
-                    self.env,
-                    self.network,
-                    traced_node=self.db_node,
-                    external_node=self.workstation,
-                    config=config.noise,
-                    rng=self.rng,
-                    program="rlogind",
-                    stop_at=stop_at,
-                )
-            )
-            self.noise_generators.append(
-                MysqlClientNoiseGenerator(
-                    self.env,
-                    self.network,
-                    external_node=self.workstation,
-                    db_ip=DB_IP,
-                    db_port=DB_PORT,
-                    config=config.noise,
-                    rng=self.rng,
-                    stop_at=stop_at,
-                )
-            )
-
-    def run(self) -> RubisRunResult:
-        """Run the emulation to completion and gather results."""
-        self.emulator.start()
-        for generator in self.noise_generators:
-            generator.start()
-        self.env.run()
-
-        elapsed = self.env.now
-        cpu_utilisation = {
-            node.hostname: node.cpu_utilisation(elapsed)
-            for node in (self.web_node, self.app_node, self.db_node)
-        }
-        noise_activities = sum(
-            getattr(generator, "exchanges", 0) * 2 + getattr(generator, "queries_issued", 0) * 2
-            for generator in self.noise_generators
+        super().__init__(
+            topology=topology,
+            workload=workload,
+            mix=mix_by_name(config.workload),
+            settings=settings_from(config),
+            config=config,
         )
-        return RubisRunResult(
-            config=self.config,
-            metrics=self.emulator.metrics,
-            ground_truth=self.ground_truth.completed(),
-            records_by_node=self.collector.records_by_node(),
-            total_activities=self.collector.total_records(),
-            simulated_duration=elapsed,
-            requests_issued=self.emulator.issued,
-            requests_served_frontend=self.httpd.requests_served,
-            cpu_utilisation=cpu_utilisation,
-            noise_activities=noise_activities,
-        )
+
+    # -- historical attribute names -----------------------------------------
+
+    @property
+    def web_node(self):
+        return self.service_nodes["www"]
+
+    @property
+    def app_node(self):
+        return self.service_nodes["app"]
+
+    @property
+    def db_node(self):
+        return self.service_nodes["db"]
+
+    @property
+    def httpd(self):
+        """The frontend tier engine (prefork worker processes)."""
+        return self.tier_groups["www"].primary
+
+    @property
+    def appserver(self):
+        """The middle tier engine (bounded thread pool)."""
+        return self.tier_groups["app"].primary
+
+    @property
+    def database(self):
+        """The storage tier engine (per-connection threads, engine slots)."""
+        return self.tier_groups["db"].primary
 
 
 def run_rubis(config: Optional[RubisConfig] = None, **overrides) -> RubisRunResult:

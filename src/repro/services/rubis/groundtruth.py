@@ -1,100 +1,17 @@
-"""Ground-truth recording for the accuracy evaluation.
+"""Ground-truth recording (compatibility re-export).
 
-Section 5.2 of the paper modifies RUBiS to tag every request with a
-globally-unique id and log, per tier, the servicing process/thread and the
-start/end times of the request.  The simulated service does the same: the
-client emulator obtains a :class:`RubisRequest` from the
-:class:`GroundTruthRecorder` (which assigns the id) and every tier notes
-the execution entity that serviced it.
-
-None of this information is visible to the tracer; the ``#rid=``
-annotations in the trace are used exclusively by
-:func:`repro.core.accuracy.path_accuracy`.
+The recorder was never RUBiS-specific -- Section 5.2's oracle records the
+servicing entities and frontend times of every tagged request, whatever
+the topology -- so it now lives in :mod:`repro.topology.groundtruth` and
+serves every scenario.  This module keeps the historical import path and
+the ``RubisRequest`` name.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from ...topology.groundtruth import GroundTruthRecorder, TracedRequest
 
-from ...core.accuracy import GroundTruthRequest
-from ...sim.node import ExecutionEntity
-from .requests import RequestType
+#: One in-flight request of the emulated workload (historical name).
+RubisRequest = TracedRequest
 
-
-@dataclass
-class RubisRequest:
-    """One in-flight request of the emulated workload."""
-
-    request_id: int
-    request_type: RequestType
-    issued_at: float = 0.0
-
-    @property
-    def name(self) -> str:
-        return self.request_type.name
-
-
-class GroundTruthRecorder:
-    """Collects the oracle records the accuracy evaluation compares against."""
-
-    def __init__(self) -> None:
-        self._ids = itertools.count(1)
-        self._records: Dict[int, GroundTruthRequest] = {}
-
-    def new_request(self, request_type: RequestType, issued_at: float = 0.0) -> RubisRequest:
-        """Create a request with a fresh globally-unique id."""
-        request = RubisRequest(
-            request_id=next(self._ids), request_type=request_type, issued_at=issued_at
-        )
-        self._records[request.request_id] = GroundTruthRequest(
-            request_id=request.request_id,
-            start_time=float("nan"),
-            end_time=float("nan"),
-            request_type=request_type.name,
-        )
-        return request
-
-    # -- notes from the tiers ------------------------------------------------
-
-    def note_context(self, request: Optional[RubisRequest], entity: ExecutionEntity) -> None:
-        """Record that ``entity`` serviced ``request`` (no-op for noise)."""
-        if request is None:
-            return
-        record = self._records.get(request.request_id)
-        if record is not None:
-            record.contexts.add(entity.context().as_tuple())
-
-    def note_start(self, request: Optional[RubisRequest], local_time: float) -> None:
-        """Record the frontend-observed start of servicing."""
-        if request is None:
-            return
-        record = self._records.get(request.request_id)
-        if record is not None:
-            record.start_time = local_time
-
-    def note_end(self, request: Optional[RubisRequest], local_time: float) -> None:
-        """Record the frontend-observed end of servicing."""
-        if request is None:
-            return
-        record = self._records.get(request.request_id)
-        if record is not None:
-            record.end_time = local_time
-
-    # -- export --------------------------------------------------------------
-
-    def completed(self) -> Dict[int, GroundTruthRequest]:
-        """Only requests that were fully serviced ("all logged requests")."""
-        return {
-            request_id: record
-            for request_id, record in self._records.items()
-            if record.start_time == record.start_time  # not NaN
-            and record.end_time == record.end_time
-        }
-
-    def all_records(self) -> Dict[int, GroundTruthRequest]:
-        return dict(self._records)
-
-    def __len__(self) -> int:
-        return len(self._records)
+__all__ = ["GroundTruthRecorder", "RubisRequest", "TracedRequest"]

@@ -26,65 +26,12 @@ behaviour is.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Sequence, Tuple
 
-
-@dataclass(frozen=True)
-class QuerySpec:
-    """One database query issued by the application tier."""
-
-    name: str
-    #: CPU consumed on the database node, seconds.
-    db_cpu: float = 0.0012
-    #: Dispatch latency before the connection thread picks the query up
-    #: (protocol handling, connection scheduling); observed by the tracer
-    #: as part of the java->mysqld interaction.
-    dispatch_delay: float = 0.040
-    #: Engine-time of the query (buffer pool, row access) while holding a
-    #: database-engine slot; observed as mysqld-internal latency.
-    engine_delay: float = 0.025
-    #: Result-set size in bytes.
-    reply_bytes: int = 8_000
-    #: Query text size in bytes.
-    query_bytes: int = 220
-    #: Whether the query touches the ``items`` table (the Database_Lock
-    #: fault of Section 5.4.2 injects extra lock wait on those).
-    touches_items: bool = False
-
-
-@dataclass(frozen=True)
-class RequestType:
-    """One RUBiS interaction (one URL of the site)."""
-
-    name: str
-    #: CPU on the web tier to parse the request and proxy it.
-    httpd_cpu: float = 0.0015
-    #: CPU on the application tier for business logic (excluding per-query
-    #: parsing, accounted separately).
-    app_cpu: float = 0.005
-    #: CPU on the application tier per database reply processed.
-    app_per_query_cpu: float = 0.00025
-    #: CPU on the application tier to render the reply.
-    app_reply_cpu: float = 0.0005
-    #: CPU on the web tier to relay the response to the client.
-    httpd_reply_cpu: float = 0.0005
-    #: Database queries issued, in order.
-    queries: Tuple[QuerySpec, ...] = ()
-    #: Message sizes (bytes).
-    request_bytes: int = 420
-    app_request_bytes: int = 600
-    app_reply_bytes: int = 18_000
-    reply_bytes: int = 22_000
-    #: True for read-write interactions (only present in the Default mix).
-    writes: bool = False
-
-    @property
-    def query_count(self) -> int:
-        return len(self.queries)
-
-    def total_db_engine_time(self) -> float:
-        return sum(q.engine_delay + q.db_cpu for q in self.queries)
+# The operation dataclasses are topology-neutral cost models shared by
+# every scenario catalogue; they live in the topology subsystem and are
+# re-exported here for compatibility.
+from ...topology.operations import QuerySpec, RequestType
 
 
 def _query(

@@ -1,0 +1,63 @@
+"""Declarative topology & workload subsystem.
+
+Where :mod:`repro.services.rubis` used to hard-code the paper's one
+three-tier deployment (Fig. 7), this package turns service emulation into
+data: a :class:`TopologySpec` describes the tiers (roles, ports, worker
+pools, replicas, downstream call patterns), a :class:`WorkloadSpec`
+describes how clients drive the frontend (closed-loop sessions, open-loop
+Poisson arrivals or bursty on/off phases), and one generic tier engine
+(:mod:`repro.topology.engine`) interprets any such spec on the simulated
+cluster.  The RUBiS deployment itself is just one spec in the scenario
+library (:mod:`repro.topology.library`) and produces byte-identical
+traces to the original hand-written tiers.
+"""
+
+from .deployment import (
+    RunSettings,
+    TopologyDeployment,
+    TopologyRunResult,
+)
+from .groundtruth import GroundTruthRecorder, TracedRequest
+from .library import (
+    SCENARIOS,
+    Scenario,
+    ScenarioConfig,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
+from .spec import TierSpec, TopologyError, TopologySpec, WorkloadSpec
+from .workload import (
+    BurstyEmulator,
+    ClientEmulator,
+    ClientMetrics,
+    CompletedRequest,
+    OpenLoopEmulator,
+    WorkloadStages,
+    make_emulator,
+)
+
+__all__ = [
+    "BurstyEmulator",
+    "ClientEmulator",
+    "ClientMetrics",
+    "CompletedRequest",
+    "GroundTruthRecorder",
+    "OpenLoopEmulator",
+    "RunSettings",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioConfig",
+    "TierSpec",
+    "TopologyDeployment",
+    "TopologyError",
+    "TopologyRunResult",
+    "TopologySpec",
+    "TracedRequest",
+    "WorkloadSpec",
+    "WorkloadStages",
+    "get_scenario",
+    "make_emulator",
+    "run_scenario",
+    "scenario_names",
+]

@@ -100,6 +100,57 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["stream", "--input", "/tmp/nope.log"])
 
+    def test_stream_missing_input_file_exits_2_with_one_line(self, capsys):
+        code = main(["stream", "--input", "/tmp/definitely-not-here.log",
+                     "--frontend", "10.0.0.1:80"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "--input file not found" in err
+
+    def test_stream_unknown_scenario_exits_2_with_one_line(self, capsys):
+        code = main(["stream", "--scenario", "warehouse", "--runtime", "2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown scenario 'warehouse'" in err
+        assert "fanout_aggregator" in err
+
+    def test_stream_runs_a_library_scenario(self, capsys):
+        code = main(
+            ["stream", "--scenario", "cache_aside", "--clients", "15",
+             "--runtime", "3", "--seed", "9"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "scenario cache_aside" in output
+        assert "100.00 %" in output
+
+    def test_simulate_lists_scenarios(self, capsys):
+        assert main(["simulate", "--list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("rubis", "five_tier_chain", "fanout_aggregator",
+                     "cache_aside", "replicated_lb"):
+            assert name in output
+
+    def test_simulate_unknown_scenario_exits_2_with_one_line(self, capsys):
+        code = main(["simulate", "--scenario", "bogus"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown scenario 'bogus'" in err
+
+    def test_simulate_runs_a_scenario_and_reports_accuracy(self, capsys):
+        code = main(
+            ["simulate", "--scenario", "fanout_aggregator", "--runtime", "3",
+             "--seed", "7"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "scenario                : fanout_aggregator" in output
+        assert "path accuracy           : 100.00 %" in output
+        assert "aggd2listingd" in output  # fan-out branch segment present
+
     def test_profile_command_writes_bench_json_and_compares(
         self, tmp_path, capsys, monkeypatch
     ):

