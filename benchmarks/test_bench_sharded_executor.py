@@ -1,0 +1,85 @@
+"""Sharded-correlation executors: thread pool vs. process pool.
+
+The sharded backend can drive its causally-closed shards on a thread
+pool (zero serialisation cost, GIL-bounded for pure-Python work) or on a
+process pool (true CPU parallelism, shards and results pickled across
+the boundary).  This benchmark correlates one large scenario trace --
+the replicated-LB scenario under heavy bursty load, whose replica
+spreading and client churn partition into many components -- through
+both executors and the batch baseline, emits the timings as a
+``BENCH_sharded_executor.json`` trajectory file, and pins the invariant
+that matters: all three produce byte-identical results.
+"""
+
+from conftest import emit_bench, run_once
+from repro.experiments.figures import FigureResult
+from repro.pipeline import BackendSpec, RunSource, result_digest
+from repro.topology.library import ScenarioConfig
+
+
+def _large_sharding_source(scale) -> RunSource:
+    """A large, well-sharding trace: heavy bursty load on replicated_lb."""
+    return RunSource(
+        config=ScenarioConfig(
+            scenario="replicated_lb",
+            arrival_rate=150.0,
+            stages=scale.stages,
+            seed=scale.seed,
+        )
+    )
+
+
+def _executor_rows(scale):
+    source = _large_sharding_source(scale)
+    backends = {
+        "batch": BackendSpec.batch(window=scale.window),
+        "sharded_thread": BackendSpec.sharded(window=scale.window, executor="thread"),
+        "sharded_process": BackendSpec.sharded(window=scale.window, executor="process"),
+    }
+    rows = []
+    digests = {}
+    for label, spec in backends.items():
+        result = spec.correlate(source.activities())
+        digests[label] = result_digest(result)
+        rows.append(
+            {
+                "executor": label,
+                "activities": result.total_activities,
+                "cags": len(result.cags),
+                "shards": len(result.shard_sizes or []),
+                "correlation_time_s": round(result.correlation_time, 4),
+                "kact_s": round(
+                    result.total_activities
+                    / max(result.correlation_time, 1e-9)
+                    / 1e3,
+                    1,
+                ),
+            }
+        )
+    return rows, digests
+
+
+def test_bench_sharded_executors(benchmark, scale):
+    rows, digests = run_once(benchmark, lambda: _executor_rows(scale))
+    result = FigureResult(
+        figure_id="sharded_executor",
+        title="Sharded correlation: thread pool vs. process pool",
+        columns=[
+            "executor",
+            "activities",
+            "cags",
+            "shards",
+            "correlation_time_s",
+            "kact_s",
+        ],
+        rows=rows,
+        notes="replicated_lb, bursty 150 req/s",
+    )
+    emit_bench(result)
+
+    # Identical output regardless of executor (and of sharding at all).
+    assert len(set(digests.values())) == 1, digests
+    by_executor = {row["executor"]: row for row in rows}
+    assert by_executor["sharded_thread"]["shards"] > 1
+    assert by_executor["sharded_process"]["shards"] == by_executor["sharded_thread"]["shards"]
+    assert all(row["cags"] > 50 for row in rows)

@@ -8,9 +8,10 @@ the running service, one at a time:
 * ``Database_Lock``  -- the ``items`` table is locked, stalling queries;
 * ``EJB_Network``    -- the application-server node's NIC drops to 10 Mbps.
 
-For each case the example compares the latency percentages of the dominant
-causal-path pattern against the healthy profile and reports which
-component PreciseTracer implicates.
+Each scenario is one :class:`repro.Pipeline` run (simulation source +
+batch backend + :class:`repro.ProfileStage`); a
+:class:`repro.DiagnosisStage` then compares each faulty profile against
+the healthy session and reports which component PreciseTracer implicates.
 
 Run with::
 
@@ -19,7 +20,15 @@ Run with::
 
 from __future__ import annotations
 
-from repro import FaultConfig, RubisConfig, WorkloadStages, diagnose, run_rubis
+from repro import (
+    BackendSpec,
+    DiagnosisStage,
+    FaultConfig,
+    Pipeline,
+    ProfileStage,
+    RubisConfig,
+    WorkloadStages,
+)
 
 STAGES = WorkloadStages(up_ramp=1.5, runtime=8.0, down_ramp=0.5)
 
@@ -38,7 +47,7 @@ EXPECTED_SUSPECTS = {
 }
 
 
-def profile_scenario(name: str, faults: FaultConfig):
+def scenario_pipeline(name: str, faults: FaultConfig) -> Pipeline:
     config = RubisConfig(
         clients=300,
         workload="default",
@@ -47,19 +56,20 @@ def profile_scenario(name: str, faults: FaultConfig):
         clock_skew=0.001,
         seed=31,
     )
-    run = run_rubis(config)
-    trace = run.trace(window=0.010)
-    return run, trace.profile(name)
+    return Pipeline(
+        source=config,
+        backend=BackendSpec.batch(window=0.010),
+        stages=[ProfileStage(name)],
+    )
 
 
 def main() -> None:
-    profiles = {}
-    runs = {}
+    sessions = {}
     for name, faults in SCENARIOS.items():
         print(f"running scenario {name:14s} ({faults.describe()}) ...")
-        runs[name], profiles[name] = profile_scenario(name, faults)
+        sessions[name] = scenario_pipeline(name, faults).run()
 
-    reference = profiles["normal"]
+    profiles = {name: session.analyses["profile"] for name, session in sessions.items()}
     print("\n== latency percentages per scenario ==")
     labels = sorted({label for profile in profiles.values() for label in profile.percentages})
     header = "segment".ljust(16) + "".join(name.rjust(16) for name in SCENARIOS)
@@ -71,11 +81,13 @@ def main() -> None:
         print(row)
 
     print("\n== diagnoses ==")
+    reference = sessions["normal"]
     hits = 0
     for name in SCENARIOS:
         if name == "normal":
             continue
-        result = diagnose(reference, profiles[name], threshold=5.0)
+        stage = DiagnosisStage(reference, threshold=5.0, label=name)
+        result = stage.run(sessions[name])
         suspects = result.suspected_components()
         expected = EXPECTED_SUSPECTS[name]
         verdict = "OK" if expected in suspects[:2] else "MISS"

@@ -10,6 +10,11 @@ httpd -> java *interaction* (requests waiting for a free pool thread),
 which points straight at the thread-pool configuration.  Raising
 ``MaxThreads`` to 250 removes the bottleneck.
 
+Each load level is one :class:`repro.Pipeline` run (simulation source +
+batch backend + :class:`repro.ProfileStage`); the diagnosis step is a
+:class:`repro.DiagnosisStage` comparing the heavy-load session against
+the moderate-load reference.
+
 Run with::
 
     python examples/misconfiguration_shooting.py
@@ -17,14 +22,21 @@ Run with::
 
 from __future__ import annotations
 
-from repro import RubisConfig, WorkloadStages, diagnose, run_rubis
+from repro import (
+    BackendSpec,
+    DiagnosisStage,
+    Pipeline,
+    ProfileStage,
+    RubisConfig,
+    WorkloadStages,
+)
 
 STAGES = WorkloadStages(up_ramp=1.5, runtime=8.0, down_ramp=0.5)
 LIGHT_LOAD = 300
 HEAVY_LOAD = 900
 
 
-def run_and_profile(clients: int, max_threads: int, label: str):
+def run_pipeline(clients: int, max_threads: int, label: str):
     config = RubisConfig(
         clients=clients,
         max_threads=max_threads,
@@ -32,13 +44,17 @@ def run_and_profile(clients: int, max_threads: int, label: str):
         clock_skew=0.001,
         seed=23,
     )
-    run = run_rubis(config)
-    trace = run.trace(window=0.010)
-    profile = trace.profile(label)
-    return run, profile
+    pipeline = Pipeline(
+        source=config,
+        backend=BackendSpec.batch(window=0.010),
+        stages=[ProfileStage(label)],
+    )
+    return pipeline.run()
 
 
-def print_profile(title, run, profile) -> None:
+def print_profile(title, session) -> None:
+    run = session.run
+    profile = session.analyses["profile"]
     print(f"\n--- {title} ---")
     print(f"  throughput        : {run.throughput:.1f} req/s")
     print(f"  mean response time: {run.mean_response_time * 1000:.1f} ms")
@@ -50,17 +66,17 @@ def print_profile(title, run, profile) -> None:
 
 def main() -> None:
     print("Step 1: baseline at moderate load (MaxThreads=40)")
-    light_run, light_profile = run_and_profile(LIGHT_LOAD, 40, f"{LIGHT_LOAD} clients")
-    print_profile(f"{LIGHT_LOAD} clients, MaxThreads=40", light_run, light_profile)
+    light = run_pipeline(LIGHT_LOAD, 40, f"{LIGHT_LOAD} clients")
+    print_profile(f"{LIGHT_LOAD} clients, MaxThreads=40", light)
 
     print("\nStep 2: the problem appears at high load (MaxThreads=40)")
-    heavy_run, heavy_profile = run_and_profile(HEAVY_LOAD, 40, f"{HEAVY_LOAD} clients")
-    print_profile(f"{HEAVY_LOAD} clients, MaxThreads=40", heavy_run, heavy_profile)
+    heavy = run_pipeline(HEAVY_LOAD, 40, f"{HEAVY_LOAD} clients")
+    print_profile(f"{HEAVY_LOAD} clients, MaxThreads=40", heavy)
     print("\n  note: CPU stays far from saturation -- utilisation-based debugging")
     print("  would not explain the degraded throughput and response time.")
 
     print("\nStep 3: PreciseTracer's diagnosis (latency-percentage changes)")
-    result = diagnose(light_profile, heavy_profile, threshold=10.0)
+    result = DiagnosisStage(light, threshold=10.0, label="heavy").run(heavy)
     print(result.report())
     suspect = result.primary_suspect
     if suspect is not None and suspect.label == "httpd2java":
@@ -68,9 +84,10 @@ def main() -> None:
         print("     JBoss worker thread picking it up: the thread pool is too small.")
 
     print("\nStep 4: fix the configuration (MaxThreads=250) and re-run")
-    fixed_run, fixed_profile = run_and_profile(HEAVY_LOAD, 250, "fixed")
-    print_profile(f"{HEAVY_LOAD} clients, MaxThreads=250", fixed_run, fixed_profile)
+    fixed = run_pipeline(HEAVY_LOAD, 250, "fixed")
+    print_profile(f"{HEAVY_LOAD} clients, MaxThreads=250", fixed)
 
+    heavy_run, fixed_run = heavy.run, fixed.run
     speedup = heavy_run.mean_response_time / max(fixed_run.mean_response_time, 1e-9)
     gain = 100.0 * (fixed_run.throughput - heavy_run.throughput) / max(heavy_run.throughput, 1e-9)
     print(f"\nResult: +{gain:.0f}% throughput, {speedup:.1f}x faster responses after the fix.")

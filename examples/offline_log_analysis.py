@@ -3,15 +3,19 @@
 
 PreciseTracer is an *offline* tool: the probes write per-node log files in
 the format ``timestamp hostname program pid tid SEND|RECEIVE
-src_ip:port-dst_ip:port size`` and the Correlator is run later on the
-gathered files.  This example shows that workflow on plain text:
+src_ip:port-dst_ip:port size`` and the correlator is run later on the
+gathered files.  This example shows that workflow through the pipeline
+facade, starting from nothing but text files and network-level facts:
 
 1. run a simulated deployment (with coexisting noise traffic) and write
    one log file per service node into a temporary directory -- exactly the
    artefacts a real deployment would hand you;
-2. build a :class:`PreciseTracer` from nothing but network-level facts
-   (frontend address, noise program names) and feed it the files;
-3. print the reconstructed paths, the noise statistics and a small
+2. build a :class:`repro.Pipeline` whose source is a
+   :class:`repro.LogSource` over those files (frontend address + noise
+   program names are all it needs) and whose sinks export the results:
+   a trace-summary JSON document, the CAG stream as JSON Lines, and
+   Graphviz DOT renderings of the first few causal paths;
+3. print the reconstructed paths, the noise statistics and the ranked
    per-pattern latency report.
 
 Run with::
@@ -24,7 +28,20 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro import FrontendSpec, NoiseConfig, PreciseTracer, RubisConfig, WorkloadStages, run_rubis
+from repro import (
+    BackendSpec,
+    CagJsonlSink,
+    DotSink,
+    FrontendSpec,
+    LogSource,
+    NoiseConfig,
+    Pipeline,
+    RankedLatencyStage,
+    RubisConfig,
+    SummaryJsonSink,
+    WorkloadStages,
+    run_rubis,
+)
 from repro.core.log_format import format_record
 
 
@@ -58,42 +75,52 @@ def main() -> None:
     log_files = write_log_files(run, workdir)
 
     print("\n== step 2: offline correlation from the raw files ==")
-    tracer = PreciseTracer(
-        frontends=[
-            FrontendSpec(
-                ip="10.0.0.1",
-                port=80,
-                internal_ips=frozenset({"10.0.0.1", "10.0.0.2", "10.0.0.3"}),
-            )
-        ],
-        window=0.005,
+    source = LogSource(
+        log_files,
+        frontend=FrontendSpec(
+            ip="10.0.0.1",
+            port=80,
+            internal_ips=frozenset({"10.0.0.1", "10.0.0.2", "10.0.0.3"}),
+        ),
         ignore_programs={"sshd", "rlogind"},  # attribute-based noise filter
     )
-    lines = []
-    for path in log_files:
-        lines.extend(path.read_text(encoding="utf-8").splitlines())
-    result = tracer.trace_lines(lines)
+    pipeline = Pipeline(
+        source=source,
+        backend=BackendSpec.batch(window=0.005),
+        stages=[RankedLatencyStage(top=4)],
+        sinks=[
+            SummaryJsonSink(workdir / "trace_summary.json"),
+            CagJsonlSink(workdir / "cags.jsonl"),
+            DotSink(workdir / "dot", limit=3),
+        ],
+    )
+    session = pipeline.run()
+    result = session.trace
 
-    print(f"  raw records read        : {len(lines)}")
+    print(f"  raw lines read          : {source.lines_read}")
     print(f"  filtered by attributes  : {result.filtered_records} (sshd / rlogind)")
     print(f"  discarded by is_noise   : {result.correlation.ranker_stats.noise_discarded}")
     print(f"  causal paths completed  : {result.request_count}")
     print(f"  correlation time        : {result.correlation_time:.3f} s")
 
-    print("\n== step 3: per-pattern latency report ==")
-    for pattern in result.patterns()[:4]:
-        breakdown = pattern.average_path()
-        top = sorted(breakdown.percentages().items(), key=lambda kv: -kv[1])[:3]
+    print("\n== step 3: ranked per-pattern latency report ==")
+    for row in session.analyses["ranked_latency"]:
+        top = sorted(row["percentages"].items(), key=lambda kv: -kv[1])[:3]
         top_text = ", ".join(f"{label} {share:.0f}%" for label, share in top)
         print(
-            f"  {pattern.count:4d} paths x {pattern.length:2d} activities, "
-            f"avg {pattern.average_latency() * 1000:7.1f} ms  ({top_text})"
+            f"  {row['paths']:4d} paths x {row['activities_per_path']:2d} activities, "
+            f"avg {row['average_latency_s'] * 1000:7.1f} ms  ({top_text})"
         )
 
     print("\n== step 4: sanity check against the simulator's ground truth ==")
-    accuracy = result.accuracy(run.ground_truth)
+    accuracy = session.trace.accuracy(run.ground_truth, time_tolerance=1e-5)
     print(f"  path accuracy: {accuracy.accuracy * 100:.2f} % "
           f"({accuracy.correct_paths}/{accuracy.total_requests} requests)")
+
+    print("\n== step 5: exported artefacts ==")
+    for sink_name, paths in session.artifacts.items():
+        for path in paths:
+            print(f"  {sink_name:12s} -> {path}")
     print(f"\nlog files kept in {workdir}")
 
 

@@ -1,16 +1,20 @@
 #!/usr/bin/env python3
 """Quickstart: trace a simulated three-tier service end to end.
 
-This example follows the PreciseTracer workflow of the paper:
+This example follows the PreciseTracer workflow of the paper, expressed
+as one :class:`repro.Pipeline` -- the facade every entry point of the
+repo (CLI, experiments, examples) routes through:
 
-1. run a RUBiS-like three-tier deployment under an emulated client load
-   with the TCP_TRACE probes installed on every service node;
-2. feed the gathered per-node activity logs to PreciseTracer, which
-   correlates them into one Component Activity Graph (CAG) per request;
-3. classify the CAGs into causal-path patterns, compute the average
-   causal path of the dominant pattern and print its latency percentages;
-4. check the reconstruction against the simulator's ground truth
-   (Section 5.2's accuracy metric).
+1. **source**: run a RUBiS-like three-tier deployment under an emulated
+   client load with the TCP_TRACE probes installed on every service node
+   (a ``RubisConfig`` passed to the pipeline is simulated on demand);
+2. **backend**: correlate the gathered activity logs into one Component
+   Activity Graph (CAG) per request -- here the offline batch driver;
+   swapping in ``BackendSpec.streaming(...)`` or ``.sharded(...)``
+   changes nothing downstream;
+3. **stages**: classify the CAGs into causal-path patterns, profile the
+   dominant pattern's latency percentages, and check the reconstruction
+   against the simulator's ground truth (Section 5.2's accuracy metric).
 
 Run with::
 
@@ -19,7 +23,15 @@ Run with::
 
 from __future__ import annotations
 
-from repro import RubisConfig, WorkloadStages, run_rubis
+from repro import (
+    AccuracyStage,
+    BackendSpec,
+    Pipeline,
+    ProfileStage,
+    RankedLatencyStage,
+    RubisConfig,
+    WorkloadStages,
+)
 
 
 def main() -> None:
@@ -31,8 +43,19 @@ def main() -> None:
         seed=11,
     )
 
+    pipeline = Pipeline(
+        source=config,
+        backend=BackendSpec.batch(window=0.010),  # 10 ms sliding time window
+        stages=[
+            RankedLatencyStage(top=5),
+            ProfileStage("quickstart"),
+            AccuracyStage(),
+        ],
+    )
+
     print("== running the simulated three-tier deployment ==")
-    run = run_rubis(config)
+    session = pipeline.run()
+    run = session.run
     print(f"  emulated clients        : {config.clients}")
     print(f"  requests completed      : {run.completed_requests}")
     print(f"  throughput              : {run.throughput:.1f} req/s")
@@ -42,24 +65,30 @@ def main() -> None:
         print(f"    {hostname:5s}: {len(records)} TCP_TRACE records")
 
     print("\n== correlating activities into causal paths ==")
-    trace = run.trace(window=0.010)  # 10 ms sliding time window
+    trace = session.trace
+    print(f"  backend                 : {session.backend.describe()}")
     print(f"  causal paths (CAGs)     : {trace.request_count}")
     print(f"  incomplete paths        : {len(trace.incomplete_cags)}")
     print(f"  correlation time        : {trace.correlation_time:.3f} s")
     print(f"  estimated peak memory   : {trace.peak_memory_bytes / 1e6:.2f} MB")
 
-    print("\n== causal path patterns (most frequent first) ==")
-    for pattern in trace.patterns()[:5]:
-        print(f"  {pattern.describe()}")
+    print("\n== ranked causal-path patterns (most frequent first) ==")
+    for row in session.analyses["ranked_latency"]:
+        hops = "->".join(component.split("/")[1] for component in row["components"])
+        print(
+            f"  #{row['rank']}: {row['paths']:4d} paths x "
+            f"{row['activities_per_path']:2d} activities, "
+            f"avg {row['average_latency_s'] * 1000:7.1f} ms  ({hops})"
+        )
 
     print("\n== latency percentages of the dominant pattern ==")
-    profile = trace.profile("quickstart")
+    profile = session.analyses["profile"]
     for label, share in sorted(profile.percentages.items(), key=lambda kv: -kv[1]):
         print(f"  {label:16s} {share:6.1f} %")
     print(f"  (average end-to-end latency: {profile.average_latency * 1000:.1f} ms)")
 
     print("\n== accuracy against ground truth (Section 5.2) ==")
-    report = trace.accuracy(run.ground_truth)
+    report = session.analyses["accuracy"]
     print(f"  logged requests : {report.total_requests}")
     print(f"  correct paths   : {report.correct_paths}")
     print(f"  false positives : {report.false_positives}")

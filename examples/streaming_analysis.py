@@ -3,21 +3,26 @@
 
 The quickstart example batch-correlates a finished run.  This walkthrough
 shows the *online* pipeline instead, the mode a production deployment
-would run against live multi-tier traffic:
+would run against live multi-tier traffic -- the same
+:class:`repro.Pipeline` facade, with two substitutions:
 
-1. simulate a RUBiS-like run and write its TCP_TRACE records to a log
-   file on disk, exactly as the paper's probes would;
-2. tail that file with :class:`repro.FileTailSource` -- chunked reads,
-   partial lines reassembled across chunk boundaries;
-3. classify lines into typed activities on the fly
-   (:class:`repro.stream.ActivityStream`);
-4. push chunks into an :class:`repro.IncrementalEngine`, which emits
-   every Component Activity Graph the moment the request's END activity
-   is correlated -- no waiting for the end of the trace;
-5. watch the watermark advance and stale state get evicted (the
-   ``horizon`` knob that keeps memory bounded on endless streams);
-6. verify at the end that the incrementally-built paths are exactly the
-   ones the batch correlator would have produced.
+1. the **source** is a TCP_TRACE log file on disk, read through the
+   chunked tail reader (:class:`repro.LogSource` wraps
+   :class:`repro.FileTailSource`: chunked reads, partial lines
+   reassembled across chunk boundaries, malformed lines counted);
+2. the **backend** is ``BackendSpec.streaming(...)``: every Component
+   Activity Graph is emitted through the ``on_cag`` hook the moment the
+   request's END activity is correlated -- no waiting for the end of the
+   trace -- while the ``horizon`` knob keeps memory bounded on endless
+   streams by evicting state idle for longer than the horizon;
+3. at the end, :meth:`repro.Pipeline.verify_equivalence` re-runs the
+   same source through the batch and sharded backends and asserts all
+   three reconstructions are identical -- the repo's central invariant,
+   available as one API call.
+
+To follow a file that is still being written, drive
+:class:`repro.IncrementalEngine` directly with ``FileTailSource.poll()``
+in a loop; the facade covers the data-at-rest shape.
 
 Run with::
 
@@ -30,18 +35,18 @@ import os
 import tempfile
 
 from repro import (
-    Correlator,
-    IncrementalEngine,
+    BackendSpec,
+    LogSource,
+    Pipeline,
     RubisConfig,
     WorkloadStages,
     run_rubis,
 )
 from repro.core.log_format import format_record
-from repro.stream import ActivityStream, FileTailSource, iter_chunks
 
 
 def main() -> None:
-    # -- 1. simulate and persist the per-node logs --------------------------
+    # -- 1. simulate and persist the logs ------------------------------------
     config = RubisConfig(
         clients=80,
         stages=WorkloadStages(up_ramp=1.0, runtime=6.0, down_ramp=0.5),
@@ -64,38 +69,42 @@ def main() -> None:
     print(f"  log written to     : {log_path}")
 
     try:
-        # -- 2-4. tail + classify + correlate incrementally ------------------
-        tail = FileTailSource(log_path, chunk_bytes=16 * 1024)
-        stream = ActivityStream(
-            frontends=[run.frontend_spec()], ignore_programs={"sshd", "rlogind"}
-        )
-        engine = IncrementalEngine(
-            window=0.010,   # the paper's default sliding window
-            horizon=5.0,    # evict state idle for > 5 s of trace time
-            skew_bound=0.005,
+        # -- 2. the online pipeline: tail + classify + correlate -------------
+        pipeline = Pipeline(
+            source=LogSource(
+                log_path,
+                frontend=run.frontend_spec(),
+                ignore_programs={"sshd", "rlogind"},
+                chunk_bytes=16 * 1024,
+            ),
+            backend=BackendSpec.streaming(
+                window=0.010,   # the paper's default sliding window
+                horizon=5.0,    # evict state idle for > 5 s of trace time
+                skew_bound=0.005,
+            ),
         )
 
-        print("\n== streaming the log through the incremental engine ==")
+        print("\n== streaming the log through the incremental backend ==")
         finished = 0
-        peak_pending = 0
-        lines = tail.drain()  # one poll here; a live tailer would loop poll()
-        for chunk in iter_chunks(lines, 400):
-            for cag in engine.ingest(stream.classify_lines(chunk)):
-                finished += 1
-                if finished <= 5 or finished % 50 == 0:
-                    duration = (cag.duration() or 0.0) * 1000
-                    print(
-                        f"  finished CAG #{finished:<4d} "
-                        f"vertices={len(cag):<3d} latency={duration:6.1f} ms "
-                        f"(watermark {engine.watermark():.3f})"
-                    )
-            peak_pending = max(peak_pending, engine.pending_state_size())
-        finished += len(engine.flush())
-        result = engine.result()
 
+        def on_cag(cag) -> None:
+            nonlocal finished
+            finished += 1
+            if finished <= 5 or finished % 50 == 0:
+                duration = (cag.duration() or 0.0) * 1000
+                print(
+                    f"  finished CAG #{finished:<4d} "
+                    f"vertices={len(cag):<3d} latency={duration:6.1f} ms"
+                )
+
+        session = pipeline.run(on_cag=on_cag)
+        result = session.trace.correlation
         stats = result.engine_stats
         print(f"\n  total finished paths : {finished}")
-        print(f"  peak live entries    : {peak_pending}")
+        print(
+            "  peak live entries    : "
+            f"{result.peak_state_entries + result.peak_buffered_activities}"
+        )
         print(
             "  evictions            : "
             f"{stats.evicted_mmap_entries} mmap, "
@@ -103,19 +112,16 @@ def main() -> None:
             f"{stats.evicted_open_cags} open CAGs"
         )
 
-        # -- 6. cross-check against the batch path ---------------------------
-        print("\n== verifying against the batch correlator ==")
-        batch = Correlator(window=0.010).correlate(run.activities())
-        print(f"  batch paths    : {len(batch.cags)}")
-        print(f"  streaming paths: {len(result.cags)}")
-        report = run.make_tracer().trace_records(run.all_records()).accuracy(
-            run.ground_truth
-        )
-        print(f"  batch accuracy : {report.accuracy * 100:.2f} %")
-        from repro.core.accuracy import path_accuracy
-
-        streaming_report = path_accuracy(result.cags, run.ground_truth)
-        print(f"  stream accuracy: {streaming_report.accuracy * 100:.2f} %")
+        # -- 3. accuracy + cross-backend equivalence -------------------------
+        print("\n== verifying against ground truth and the other backends ==")
+        # The log file carries no oracle, so score against the run's own
+        # ground truth (a simulation source would provide it to an
+        # AccuracyStage automatically).
+        accuracy_report = session.trace.accuracy(run.ground_truth)
+        print(f"  stream accuracy : {accuracy_report.accuracy * 100:.2f} %")
+        report = pipeline.verify_equivalence()
+        print(report.describe())
+        report.require()  # raises if any backend disagreed
     finally:
         os.unlink(log_path)
 

@@ -60,6 +60,23 @@ from .stream import (
     ShardedCorrelator,
     StreamingCorrelator,
 )
+from .pipeline import (
+    AccuracyStage,
+    BackendSpec,
+    CagJsonlSink,
+    DiagnosisStage,
+    DotSink,
+    EquivalenceReport,
+    LogSource,
+    MemorySource,
+    Pipeline,
+    ProfileStage,
+    RankedLatencyStage,
+    RunSource,
+    SummaryJsonSink,
+    TraceSession,
+    verify_equivalence,
+)
 from .services.rubis import (
     RubisConfig,
     RubisDeployment,
@@ -84,17 +101,23 @@ __version__ = "0.1.0"
 
 __all__ = [
     "AccuracyReport",
+    "AccuracyStage",
     "Activity",
     "ActivityClassifier",
     "ActivityType",
+    "BackendSpec",
     "CAG",
     "CAGError",
+    "CagJsonlSink",
     "ContextId",
     "CorrelationEngine",
     "CorrelationResult",
     "Correlator",
     "Diagnosis",
+    "DiagnosisStage",
+    "DotSink",
     "Edge",
+    "EquivalenceReport",
     "FaultConfig",
     "FileTailSource",
     "FrontendSpec",
@@ -102,26 +125,34 @@ __all__ = [
     "IncrementalEngine",
     "LatencyBreakdown",
     "LatencyProfile",
+    "LogSource",
+    "MemorySource",
     "MessageId",
     "NoiseConfig",
     "PathPattern",
     "PatternClassifier",
+    "Pipeline",
     "PreciseTracer",
+    "ProfileStage",
+    "RankedLatencyStage",
     "Ranker",
     "RawRecord",
     "RubisConfig",
     "RubisDeployment",
     "RubisRunResult",
+    "RunSource",
     "Scenario",
     "ScenarioConfig",
     "SegmentChange",
     "ShardedCorrelator",
     "StreamingCorrelator",
+    "SummaryJsonSink",
     "TierSpec",
     "TopologyDeployment",
     "TopologyRunResult",
     "TopologySpec",
     "TraceResult",
+    "TraceSession",
     "WorkloadSpec",
     "WorkloadStages",
     "__version__",
@@ -139,4 +170,5 @@ __all__ = [
     "run_rubis",
     "run_scenario",
     "scenario_names",
+    "verify_equivalence",
 ]

@@ -14,6 +14,9 @@ Examples::
     # run a scenario from the topology library (simulate --list shows all)
     precisetracer simulate --scenario fanout_aggregator
 
+    # the same, as machine-readable JSON (trace-summary document)
+    precisetracer simulate --scenario fanout_aggregator --json
+
     # correlate online: simulate, then replay the logs incrementally
     precisetracer stream --clients 150 --horizon 5
 
@@ -54,11 +57,19 @@ Commands
     ``BENCH_*.json`` trajectory file and -- when a baseline document is
     available -- print the per-point speedup against it.  ``--cprofile``
     additionally prints the hottest functions of one correlation run.
+
+Every data-producing command (``trace`` / ``simulate`` / ``stream``) is
+one :class:`repro.pipeline.Pipeline` run -- a source (simulated run or
+log file), a backend (:class:`repro.pipeline.BackendSpec`: batch,
+streaming or sharded) and analysis stages -- differing only in how the
+flags select the source and the backend.  ``--json`` prints the
+pipeline's trace-summary document instead of the human report.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -70,10 +81,25 @@ from .experiments import (
     render_table,
     write_report,
 )
+from .pipeline import (
+    AccuracyStage,
+    BackendSpec,
+    LogSource,
+    PatternStage,
+    Pipeline,
+    ProfileStage,
+    RunSource,
+    TraceSession,
+)
+from .core.export import trace_summary
 from .services.faults import FaultConfig
 from .services.noise import NoiseConfig
 from .services.rubis.client import WorkloadStages
-from .services.rubis.deployment import RubisConfig, run_rubis
+from .services.rubis.deployment import RubisConfig
+from .topology.library import ScenarioConfig, get_scenario, scenario_names
+
+#: Fault scenario names accepted by ``--fault``.
+FAULT_CHOICES = ["none", "ejb_delay", "database_lock", "ejb_network"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -110,12 +136,11 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--clock-skew", type=float, default=0.001)
     trace_parser.add_argument("--runtime", type=float, default=8.0)
     trace_parser.add_argument("--noise", action="store_true", help="enable noise traffic")
-    trace_parser.add_argument(
-        "--fault",
-        choices=["none", "ejb_delay", "database_lock", "ejb_network"],
-        default="none",
-    )
+    trace_parser.add_argument("--fault", choices=FAULT_CHOICES, default="none")
     trace_parser.add_argument("--seed", type=int, default=17)
+    trace_parser.add_argument(
+        "--json", action="store_true", help="print the trace summary as JSON"
+    )
 
     simulate_parser = subparsers.add_parser(
         "simulate",
@@ -148,12 +173,11 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--window", type=float, default=0.010)
     simulate_parser.add_argument("--runtime", type=float, default=8.0)
     simulate_parser.add_argument("--noise", action="store_true", help="enable noise traffic")
-    simulate_parser.add_argument(
-        "--fault",
-        choices=["none", "ejb_delay", "database_lock", "ejb_network"],
-        default="none",
-    )
+    simulate_parser.add_argument("--fault", choices=FAULT_CHOICES, default="none")
     simulate_parser.add_argument("--seed", type=int, default=17)
+    simulate_parser.add_argument(
+        "--json", action="store_true", help="print the trace summary as JSON"
+    )
 
     stream_parser = subparsers.add_parser(
         "stream",
@@ -207,7 +231,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="closed-loop sessions (default: 100 for rubis, scenario default otherwise)",
     )
     stream_parser.add_argument("--runtime", type=float, default=6.0)
+    stream_parser.add_argument("--noise", action="store_true", help="enable noise traffic")
+    stream_parser.add_argument("--fault", choices=FAULT_CHOICES, default="none")
     stream_parser.add_argument("--seed", type=int, default=17)
+    stream_parser.add_argument(
+        "--json", action="store_true", help="print the trace summary as JSON"
+    )
 
     profile_parser = subparsers.add_parser(
         "profile",
@@ -257,20 +286,74 @@ def _fail(message: str) -> int:
     return 2
 
 
+# ---------------------------------------------------------------------------
+# Shared pipeline plumbing for trace / simulate / stream
+# ---------------------------------------------------------------------------
+
+def _shared_run_fields(args: argparse.Namespace, up_ramp: float = 1.5) -> dict:
+    """The run-config fields ``trace``/``simulate``/``stream`` all share.
+
+    One helper instead of three copy-pasted blocks: stage durations from
+    ``--runtime``, noise from ``--noise``, faults from ``--fault``, seed
+    from ``--seed``.  Works for :class:`RubisConfig` and
+    :class:`ScenarioConfig` alike (both embed the same field names).
+    """
+    return {
+        "stages": WorkloadStages(up_ramp=up_ramp, runtime=args.runtime, down_ramp=0.5),
+        "noise": NoiseConfig.paper_noise() if args.noise else NoiseConfig.quiet(),
+        "faults": _fault_from_name(args.fault),
+        "seed": args.seed,
+    }
+
+
+def _session_json(session: TraceSession, command: str, **extra) -> str:
+    """The machine-readable document behind ``--json``: the pipeline's
+    ``trace_summary`` plus provenance and (when available) accuracy."""
+    payload = trace_summary(session.trace)
+    payload["command"] = command
+    payload["backend"] = session.backend.describe()
+    payload["source"] = session.source.describe()
+    if session.source.ground_truth is not None:
+        report = session.accuracy()
+        payload["accuracy"] = report.accuracy
+        payload["false_positives"] = report.false_positives
+        payload["false_negatives"] = report.false_negatives
+    payload.update(extra)
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _parse_frontend(text: str):
+    from .core.log_format import FrontendSpec
+
+    ip, sep, port_text = text.rpartition(":")
+    if not sep or not ip:
+        return None
+    try:
+        return FrontendSpec(ip=ip, port=int(port_text))
+    except ValueError:
+        return None
+
+
 def _command_trace(args: argparse.Namespace) -> int:
     config = RubisConfig(
         clients=args.clients,
         workload=args.workload,
         max_threads=args.max_threads,
         clock_skew=args.clock_skew,
-        stages=WorkloadStages(up_ramp=1.5, runtime=args.runtime, down_ramp=0.5),
-        noise=NoiseConfig.paper_noise() if args.noise else NoiseConfig.quiet(),
-        faults=_fault_from_name(args.fault),
-        seed=args.seed,
+        **_shared_run_fields(args),
     )
-    run = run_rubis(config)
-    trace = run.trace(window=args.window)
-    accuracy = trace.accuracy(run.ground_truth)
+    pipeline = Pipeline(
+        source=config,
+        backend=BackendSpec.batch(window=args.window),
+        stages=[AccuracyStage(), ProfileStage("trace")],
+    )
+    session = pipeline.run()
+    if args.json:
+        print(_session_json(session, "trace"))
+        return 0
+    run = session.run
+    trace = session.trace
+    accuracy = session.analyses["accuracy"]
     print(f"simulated duration      : {run.simulated_duration:.1f} s")
     print(f"requests completed      : {run.completed_requests}")
     print(f"throughput              : {run.throughput:.1f} req/s")
@@ -279,7 +362,7 @@ def _command_trace(args: argparse.Namespace) -> int:
     print(f"causal paths (CAGs)     : {trace.request_count}")
     print(f"correlation time        : {trace.correlation_time:.3f} s")
     print(f"path accuracy           : {accuracy.accuracy * 100:.2f} %")
-    profile = trace.profile("trace")
+    profile = session.analyses["profile"]
     print("latency percentages of the dominant pattern:")
     for label, value in sorted(profile.percentages.items()):
         print(f"  {label:16s} {value:6.1f} %")
@@ -288,10 +371,9 @@ def _command_trace(args: argparse.Namespace) -> int:
 
 def _command_simulate(args: argparse.Namespace) -> int:
     """Run one scenario from the topology library and batch-trace it."""
-    from .topology.library import ScenarioConfig, get_scenario, scenario_names
-    from .topology.workload import WorkloadStages
-
     if args.list:
+        if args.json:
+            return _fail("--json cannot be combined with --list")
         for name in scenario_names():
             print(f"{name:20s} {get_scenario(name).description}")
         return 0
@@ -306,16 +388,20 @@ def _command_simulate(args: argparse.Namespace) -> int:
         clients=args.clients,
         arrival_rate=args.arrival_rate,
         workload_kind=args.workload_kind,
-        stages=WorkloadStages(up_ramp=1.5, runtime=args.runtime, down_ramp=0.5),
-        noise=NoiseConfig.paper_noise() if args.noise else NoiseConfig.quiet(),
-        faults=_fault_from_name(args.fault),
-        seed=args.seed,
+        **_shared_run_fields(args),
     )
-    from .topology.library import run_scenario
-
-    run = run_scenario(config)
-    trace = run.trace(window=args.window)
-    accuracy = trace.accuracy(run.ground_truth)
+    pipeline = Pipeline(
+        source=config,
+        backend=BackendSpec.batch(window=args.window),
+        stages=[AccuracyStage(), ProfileStage(scenario.name), PatternStage()],
+    )
+    session = pipeline.run()
+    if args.json:
+        print(_session_json(session, "simulate", scenario=scenario.name))
+        return 0
+    run = session.run
+    trace = session.trace
+    accuracy = session.analyses["accuracy"]
     tier_list = ", ".join(
         f"{tier.name}({tier.role}" + (f" x{tier.replicas})" if tier.replicas > 1 else ")")
         for tier in scenario.topology.front_to_back()
@@ -329,117 +415,101 @@ def _command_simulate(args: argparse.Namespace) -> int:
     print(f"mean response time      : {run.mean_response_time * 1000:.1f} ms")
     print(f"activities logged       : {run.total_activities}")
     print(f"causal paths (CAGs)     : {trace.request_count}")
-    print(f"path patterns           : {len(trace.patterns())}")
+    print(f"path patterns           : {len(session.analyses['patterns'])}")
     print(f"correlation time        : {trace.correlation_time:.3f} s")
     print(f"path accuracy           : {accuracy.accuracy * 100:.2f} %")
-    profile = trace.profile(scenario.name)
+    profile = session.analyses["profile"]
     print("latency percentages of the dominant pattern:")
     for label, value in sorted(profile.percentages.items()):
         print(f"  {label:24s} {value:6.1f} %")
     return 0
 
 
-def _parse_frontend(text: str) -> "FrontendSpec":
-    from .core.log_format import FrontendSpec
-
-    ip, sep, port_text = text.rpartition(":")
-    if not sep or not ip:
-        raise SystemExit(f"bad --frontend {text!r}, expected IP:PORT")
-    try:
-        return FrontendSpec(ip=ip, port=int(port_text))
-    except ValueError as exc:
-        raise SystemExit(f"bad --frontend {text!r}, expected IP:PORT") from exc
-
-
 def _command_stream(args: argparse.Namespace) -> int:
-    """Drive the online pipeline: chunked reader -> incremental engine."""
+    """Drive the online pipeline: source -> streaming/sharded backend."""
+    import os
     import time
 
-    from .core.log_format import format_record
-    from .stream import (
-        ActivityStream,
-        FileTailSource,
-        ShardedCorrelator,
-        StreamingCorrelator,
-    )
-
     if args.chunk_size <= 0:
-        raise SystemExit("--chunk-size must be positive")
+        return _fail("--chunk-size must be positive")
     if args.window <= 0:
-        raise SystemExit("--window must be positive")
+        return _fail("--window must be positive")
     if args.skew_bound < 0:
-        raise SystemExit("--skew-bound must be non-negative")
+        return _fail("--skew-bound must be non-negative")
+    if args.shards < 0:
+        return _fail("--shards must be non-negative")
 
-    run = None
+    # -- source: a log file, or a freshly simulated run ----------------------
     if args.input:
         if not args.frontend:
-            raise SystemExit("--input requires --frontend IP:PORT")
-        import os
-
+            return _fail("--input requires --frontend IP:PORT")
+        frontend = _parse_frontend(args.frontend)
+        if frontend is None:
+            return _fail(f"bad --frontend {args.frontend!r}, expected IP:PORT")
+        if args.noise or args.fault != "none":
+            return _fail(
+                "--noise/--fault shape a simulated run and cannot be "
+                "combined with --input"
+            )
         if not os.path.exists(args.input):
             return _fail(f"--input file not found: {args.input}")
-        stream = ActivityStream(frontends=[_parse_frontend(args.frontend)])
-        tail = FileTailSource(args.input)
-        lines = tail.drain()
+        source = LogSource(args.input, frontend=frontend)
     else:
-        stages = WorkloadStages(up_ramp=1.0, runtime=args.runtime, down_ramp=0.5)
-        if args.scenario == "rubis":
-            clients = args.clients if args.clients is not None else 100
-            config = RubisConfig(clients=clients, stages=stages, seed=args.seed)
-            print(f"== simulating {clients} clients for {args.runtime:.0f} s ==")
-            run = run_rubis(config)
-        else:
-            from .topology.library import ScenarioConfig, run_scenario, scenario_names
-
-            if args.scenario not in scenario_names():
-                return _fail(
-                    f"unknown scenario {args.scenario!r}; available scenarios: "
-                    f"{', '.join(scenario_names())}"
-                )
-            print(f"== simulating scenario {args.scenario} for {args.runtime:.0f} s ==")
-            run = run_scenario(
-                ScenarioConfig(
-                    scenario=args.scenario,
-                    clients=args.clients,
-                    stages=stages,
-                    seed=args.seed,
-                )
+        if args.scenario not in scenario_names():
+            return _fail(
+                f"unknown scenario {args.scenario!r}; available scenarios: "
+                f"{', '.join(scenario_names())}"
             )
-        print(f"requests completed      : {run.completed_requests}")
-        print(f"activities logged       : {run.total_activities}")
-        stream = ActivityStream(
-            frontends=[run.frontend_spec()],
-            ignore_programs=set(run.topology.ignore_programs),
+        clients = args.clients
+        if clients is None and args.scenario == "rubis":
+            clients = 100
+        config = ScenarioConfig(
+            scenario=args.scenario,
+            clients=clients,
+            **_shared_run_fields(args, up_ramp=1.0),
         )
-        records = sorted(run.all_records(), key=lambda r: r.timestamp)
-        lines = [format_record(record) for record in records]
+        source = RunSource(config=config)
+        if not args.json:
+            if args.scenario == "rubis":
+                print(f"== simulating {clients} clients for {args.runtime:.0f} s ==")
+            else:
+                print(
+                    f"== simulating scenario {args.scenario} "
+                    f"for {args.runtime:.0f} s =="
+                )
+            run = source.run
+            print(f"requests completed      : {run.completed_requests}")
+            print(f"activities logged       : {run.total_activities}")
 
+    # -- backend: incremental, or sharded parallel ---------------------------
     if args.shards > 0:
-        activities = stream.classify_lines(lines)
-        correlator = ShardedCorrelator(window=args.window, max_shards=args.shards)
-        result = correlator.correlate(activities)
-        finished = len(result.cags)
-        peak_pending = result.peak_state_entries + result.peak_buffered_activities
-        print(f"\n== sharded correlation ({len(correlator.last_shard_sizes)} shards) ==")
+        backend = BackendSpec.sharded(window=args.window, max_shards=args.shards)
     else:
-        # StreamingCorrelator sorts into global arrival order before
-        # chunking, which makes the command correct even for a
-        # per-node-concatenated input file (``cat web.log app.log``).
-        correlator = StreamingCorrelator(
+        backend = BackendSpec.streaming(
             window=args.window,
             horizon=args.horizon if args.horizon > 0 else None,
             skew_bound=args.skew_bound,
             chunk_size=args.chunk_size,
         )
-        engine = correlator.make_engine()
-        activities = stream.classify_lines(lines)
-        wall_start = time.perf_counter()
-        finished = sum(1 for _cag in correlator.correlate_iter(activities, engine=engine))
-        wall = time.perf_counter() - wall_start
-        result = engine.result()
-        peak_pending = result.peak_state_entries + result.peak_buffered_activities
-        print("\n== incremental correlation ==")
-        print(f"wall-clock ingestion    : {wall:.3f} s")
+
+    # Classification (and the simulation, for run sources) happens inside
+    # source.activities(); keep it outside the timer so "wall-clock
+    # ingestion" measures the correlation drive alone, comparable to the
+    # reported correlation time.
+    activities = source.activities()
+    wall_start = time.perf_counter()
+    trace = backend.trace(activities)
+    wall = time.perf_counter() - wall_start
+    trace.filtered_records = source.filtered_records
+    session = TraceSession(source=source, backend=backend, trace=trace)
+    result = trace.correlation
+
+    if args.json:
+        extra = {"wall_clock_s": wall}
+        if result.shard_sizes is not None:
+            extra["shards"] = len(result.shard_sizes)
+        print(_session_json(session, "stream", **extra))
+        return 0
 
     stats = result.engine_stats
     evictions = (
@@ -447,20 +517,24 @@ def _command_stream(args: argparse.Namespace) -> int:
         + stats.evicted_cmap_entries
         + stats.evicted_open_cags
     )
+    peak_pending = result.peak_state_entries + result.peak_buffered_activities
+    if backend.kind == "sharded":
+        print(f"\n== sharded correlation ({len(result.shard_sizes or [])} shards) ==")
+    else:
+        print("\n== incremental correlation ==")
+        print(f"wall-clock ingestion    : {wall:.3f} s")
     print(f"activities ingested     : {result.total_activities}")
-    print(f"finished paths (CAGs)   : {finished}")
+    print(f"finished paths (CAGs)   : {len(result.cags)}")
     print(f"incomplete paths        : {len(result.incomplete_cags)}")
     print(f"correlation time        : {result.correlation_time:.3f} s")
     rate = result.total_activities / max(result.correlation_time, 1e-9)
     print(f"correlation throughput  : {rate / 1e3:.1f} kact/s")
     print(f"peak live entries       : {peak_pending}")
     print(f"state evictions         : {evictions}")
-    if stream.malformed_lines:
-        print(f"malformed lines         : {stream.malformed_lines}")
-    if run is not None:
-        from .core.accuracy import path_accuracy
-
-        report = path_accuracy(result.cags, run.ground_truth)
+    if session.source.malformed_lines:
+        print(f"malformed lines         : {session.source.malformed_lines}")
+    if session.source.ground_truth is not None:
+        report = session.accuracy()
         print(f"path accuracy           : {report.accuracy * 100:.2f} %")
     return 0
 
@@ -516,7 +590,6 @@ def _command_profile(args: argparse.Namespace, scale) -> int:
         import cProfile
         import pstats
 
-        from .core.correlator import Correlator
         from .experiments.figures import _base_config
         from .experiments.runner import get_run
 
@@ -526,7 +599,7 @@ def _command_profile(args: argparse.Namespace, scale) -> int:
         print(f"\ncProfile of one batch correlation ({clients} clients):")
         profiler = cProfile.Profile()
         profiler.enable()
-        Correlator(window=scale.window).correlate(activities)
+        BackendSpec.batch(window=scale.window).correlate(activities)
         profiler.disable()
         pstats.Stats(profiler).sort_stats("tottime").print_stats(15)
     return 0

@@ -210,6 +210,41 @@ class CAG:
         if timestamp > self.newest_timestamp:
             self.newest_timestamp = timestamp
 
+    # -- serialisation -----------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle support: the adjacency maps are keyed by ``id(vertex)``,
+        which does not survive a pickle round trip (unpickled vertices get
+        new ids).  Serialise them keyed by vertex *position* instead; the
+        process-pool sharded correlator ships CAGs across process
+        boundaries and relies on this."""
+        index = {id(vertex): i for i, vertex in enumerate(self._vertices)}
+        return {
+            "cag_id": self.cag_id,
+            "root": self.root,
+            "vertices": self._vertices,
+            "edges": self._edges,
+            "parents": {index[key]: edges for key, edges in self._parents.items()},
+            "children": {index[key]: edges for key, edges in self._children.items()},
+            "finished": self.finished,
+            "newest_timestamp": self.newest_timestamp,
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.cag_id = state["cag_id"]
+        self.root = state["root"]
+        self._vertices = state["vertices"]
+        self._vertex_ids = {id(vertex) for vertex in self._vertices}
+        self._edges = state["edges"]
+        self._parents = {
+            id(self._vertices[i]): edges for i, edges in state["parents"].items()
+        }
+        self._children = {
+            id(self._vertices[i]): edges for i, edges in state["children"].items()
+        }
+        self.finished = state["finished"]
+        self.newest_timestamp = state["newest_timestamp"]
+
     # -- queries -----------------------------------------------------------
 
     def __contains__(self, activity: Activity) -> bool:
@@ -304,14 +339,27 @@ class CAG:
 
     # -- causal ordering ---------------------------------------------------
 
-    def topological_order(self) -> List[Activity]:
-        """Vertices in a topological order of the happened-before DAG."""
+    def topological_order(self, tie_key=None) -> List[Activity]:
+        """Vertices in a topological order of the happened-before DAG.
+
+        ``tie_key`` orders vertices that are ready simultaneously
+        (concurrent fan-out branches).  The default breaks ties by
+        insertion order -- the order the engine discovered the vertices
+        in, which depends on the delivery interleaving; pass an explicit
+        key (see :func:`repro.core.patterns.cag_signature`) when the
+        order must be a function of the graph alone.  The insertion
+        index stays as the final fallback so the order is always total.
+        """
         indegree: Dict[int, int] = {
             id(vertex): len(self._parents[id(vertex)]) for vertex in self._vertices
         }
         order_index = {id(vertex): i for i, vertex in enumerate(self._vertices)}
+        if tie_key is None:
+            key = lambda v: order_index[id(v)]  # noqa: E731
+        else:
+            key = lambda v: (tie_key(v), order_index[id(v)])  # noqa: E731
         ready = [vertex for vertex in self._vertices if indegree[id(vertex)] == 0]
-        ready.sort(key=lambda v: order_index[id(v)])
+        ready.sort(key=key)
         result: List[Activity] = []
         while ready:
             vertex = ready.pop(0)
@@ -319,9 +367,8 @@ class CAG:
             for edge in self._children[id(vertex)]:
                 indegree[id(edge.child)] -= 1
                 if indegree[id(edge.child)] == 0:
-                    # keep insertion order among simultaneously-ready nodes
                     ready.append(edge.child)
-                    ready.sort(key=lambda v: order_index[id(v)])
+                    ready.sort(key=key)
         if len(result) != len(self._vertices):
             raise CAGError("CAG contains a cycle")
         return result

@@ -57,6 +57,9 @@ class CorrelationResult:
     engine_stats: EngineStats
     window: float
     total_activities: int
+    #: per-shard activity counts when the sharded driver produced this
+    #: result (``None`` for the batch and streaming drivers)
+    shard_sizes: Optional[List[int]] = None
 
     @property
     def completed_requests(self) -> int:

@@ -31,16 +31,43 @@ EdgeSig = Tuple[str, int, int]
 Signature = Tuple[Tuple[VertexSig, ...], Tuple[EdgeSig, ...]]
 
 
+def _signature_tie_key(vertex) -> Tuple[str, str, str, float]:
+    """Tie-break for concurrently-ready vertices in the signature order.
+
+    The vertex *fingerprint* (type, hostname, program) decides first, so
+    two CAGs whose concurrent fan-out branches completed in different
+    real-time interleavings -- or were discovered in different orders by
+    different correlation backends -- canonicalise to the same vertex
+    order whenever the branches are distinguishable by fingerprint, and
+    isomorphic requests land in one pattern regardless of scheduling.
+    Concurrent vertices sharing a fingerprint fall back to the local
+    timestamp (and ultimately to construction order): that keeps the
+    order deterministic and backend-independent -- timestamps are data,
+    not scheduling -- but it does mean same-fingerprint branches order
+    by arrival, so such CAGs canonicalise per interleaving, not per
+    abstract graph shape.
+    """
+    return (
+        vertex.type.name,
+        vertex.context.hostname,
+        vertex.context.program,
+        vertex.timestamp,
+    )
+
+
 def cag_signature(cag: CAG) -> Signature:
     """Canonical isomorphism signature of a CAG.
 
     Vertices are fingerprinted by (type, hostname, program) and ordered
-    topologically (ties broken by construction order, which is identical
-    for CAGs built from identically-shaped requests); edges are recorded
-    by the positions of their endpoints in that order.  Two CAGs with the
-    same signature are isomorphic in the paper's sense.
+    topologically, with concurrently-ready vertices ordered by
+    fingerprint then timestamp (see :func:`_signature_tie_key`) -- both
+    are properties of the logged data, never of how the correlator
+    scheduled its work, so the signature is identical across the batch,
+    streaming and sharded backends; edges are recorded by the positions
+    of their endpoints in that order.  Two CAGs with the same signature
+    are isomorphic in the paper's sense.
     """
-    order = cag.topological_order()
+    order = cag.topological_order(tie_key=_signature_tie_key)
     position = {id(vertex): index for index, vertex in enumerate(order)}
     vertex_sigs: Tuple[VertexSig, ...] = tuple(
         (vertex.type.name, vertex.context.hostname, vertex.context.program)

@@ -45,6 +45,13 @@ class TraceResult:
 
     correlation: CorrelationResult
     filtered_records: int = 0
+    #: memoised pattern classification -- several analysis consumers
+    #: (profiles, ranked reports, summaries) all start from the same
+    #: classification of the same immutable CAG set, so it is computed
+    #: once per trace
+    _patterns: Optional[List[PathPattern]] = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- CAG access ---------------------------------------------------------
 
@@ -75,10 +82,12 @@ class TraceResult:
     # -- analysis helpers ----------------------------------------------------
 
     def patterns(self) -> List[PathPattern]:
-        """Causal-path patterns, most frequent first."""
-        classifier = PatternClassifier()
-        classifier.add_all(self.cags)
-        return classifier.patterns
+        """Causal-path patterns, most frequent first (memoised)."""
+        if self._patterns is None:
+            classifier = PatternClassifier()
+            classifier.add_all(self.cags)
+            self._patterns = classifier.patterns
+        return self._patterns
 
     def dominant_pattern(self) -> Optional[PathPattern]:
         patterns = self.patterns()
@@ -87,7 +96,10 @@ class TraceResult:
     def profile(self, name: str, use_dominant_pattern: bool = True) -> LatencyProfile:
         """Latency-percentage profile of this trace (Fig. 15/17 rows)."""
         if use_dominant_pattern:
-            return LatencyProfile.from_dominant_pattern(name, self.cags)
+            pattern = self.dominant_pattern()
+            if pattern is None:
+                return LatencyProfile(name=name, breakdown=LatencyBreakdown())
+            return LatencyProfile.from_pattern(name, pattern)
         return LatencyProfile.from_cags(name, self.cags)
 
     def average_breakdown(self) -> LatencyBreakdown:

@@ -16,11 +16,17 @@ from typing import Dict, List, Optional, Sequence
 
 from ..baselines.project5 import nesting_algorithm
 from ..baselines.wap5 import Wap5Tracer
-from ..core.debugging import LatencyProfile, diagnose
+from ..core.debugging import LatencyProfile
 from ..services.faults import FaultConfig
 from ..services.noise import NoiseConfig
+from ..pipeline import (
+    BackendSpec,
+    DiagnosisStage,
+    Pipeline,
+    ProfileStage,
+    RunSource,
+)
 from ..services.rubis.deployment import RubisConfig, RubisRunResult
-from ..stream import ShardedCorrelator
 from ..topology.library import ScenarioConfig, get_scenario, scenario_names
 from .config import ExperimentScale, default_scale
 from .runner import RunCache, get_run, stream_trace
@@ -472,24 +478,31 @@ def figure17_diagnosis(
 ) -> Dict[str, List[str]]:
     """Which components PreciseTracer implicates for each injected fault.
 
-    A companion to Fig. 17: runs the latency-percentage comparison through
-    :func:`repro.core.debugging.diagnose` and returns the suspected
-    components per scenario (the paper's conclusions are JBoss, MySQL and
-    the JBoss node's network respectively)."""
+    A companion to Fig. 17: runs each fault scenario through the pipeline
+    facade (batch backend + :class:`~repro.pipeline.ProfileStage` +
+    :class:`~repro.pipeline.DiagnosisStage` against the healthy profile)
+    and returns the suspected components per scenario (the paper's
+    conclusions are JBoss, MySQL and the JBoss node's network
+    respectively)."""
     scale = scale or default_scale()
-    profiles: Dict[str, LatencyProfile] = {}
+    sessions = {}
     for name, faults in FAULT_SCENARIOS.items():
         config = _base_config(
             scale, clients=scale.fault_clients, workload="default", faults=faults
         )
-        run = get_run(config, cache)
-        profiles[name] = run.trace(window=scale.window).profile(name)
-    reference = profiles["normal"]
+        pipeline = Pipeline(
+            source=RunSource(config=config, cache=cache),
+            backend=BackendSpec.batch(window=scale.window),
+            stages=[ProfileStage(name)],
+        )
+        sessions[name] = pipeline.run()
+    reference: LatencyProfile = sessions["normal"].analyses["profile"]
     suspects: Dict[str, List[str]] = {}
-    for name, profile in profiles.items():
+    for name, session in sessions.items():
         if name == "normal":
             continue
-        suspects[name] = diagnose(reference, profile, threshold=threshold).suspected_components()
+        stage = DiagnosisStage(reference, threshold=threshold, label=name)
+        suspects[name] = stage.run(session).suspected_components()
     return suspects
 
 
@@ -585,7 +598,7 @@ def figure12_streaming(
         run = get_run(_base_config(scale, clients=clients), cache)
         batch = run.trace(window=scale.window)
         stream = stream_trace(run, window=scale.window, horizon=STREAMING_HORIZON)
-        sharder = ShardedCorrelator(window=scale.window)
+        sharder = BackendSpec.sharded(window=scale.window).make_correlator()
         sharded = sharder.correlate(run.activities())
         total = run.total_activities
         result.rows.append(

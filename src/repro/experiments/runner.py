@@ -6,11 +6,12 @@ window-sweep runs).  :class:`RunCache` memoises completed runs keyed by
 their configuration so a full figure suite performs each distinct
 simulation exactly once per process.
 
-:func:`stream_trace` is the streaming counterpart of
-:meth:`RubisRunResult.trace`: it replays a completed run's logs through
-the incremental correlator (``repro.stream``) so the memory (Fig. 11) and
-throughput (Fig. 12) evaluations can be rerun in streaming mode and
-compared against the batch numbers.
+:func:`stream_trace` / :func:`sharded_trace` are the streaming and
+sharded counterparts of :meth:`RubisRunResult.trace`; since the pipeline
+refactor they are thin wrappers over
+:class:`~repro.pipeline.BackendSpec` -- kept because the figure
+generators read naturally with run-centric helpers, but every knob and
+semantics detail lives in the backend spec now.
 """
 
 from __future__ import annotations
@@ -19,8 +20,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..core.tracer import TraceResult
+from ..pipeline import BackendSpec
 from ..services.rubis.deployment import RubisRunResult, run_rubis
-from ..stream import ShardedCorrelator, StreamingCorrelator
 from ..topology.library import ScenarioConfig, run_scenario
 
 
@@ -86,6 +87,19 @@ def get_run(config, cache: Optional[RunCache] = None) -> RubisRunResult:
     return target.get(config)
 
 
+def trace_run(run: RubisRunResult, backend: BackendSpec) -> TraceResult:
+    """Trace a completed run through any pipeline backend.
+
+    The run's logs are re-classified into fresh activities (the engine
+    mutates byte counters in place, so two passes must never share
+    ``Activity`` objects).  Returns the same
+    :class:`~repro.core.tracer.TraceResult` as :meth:`RubisRunResult.trace`,
+    so every analysis helper (patterns, profiles, accuracy) applies
+    unchanged regardless of the driver.
+    """
+    return backend.trace(run.activities())
+
+
 def stream_trace(
     run: RubisRunResult,
     window: float = 0.010,
@@ -93,25 +107,22 @@ def stream_trace(
     chunk_size: int = 256,
     skew_bound: Optional[float] = None,
 ) -> TraceResult:
-    """Trace a completed run through the *streaming* correlator.
+    """Trace a completed run through the *streaming* backend.
 
-    The run's logs are re-classified into fresh activities (the engine
-    mutates byte counters in place, so batch and streaming passes must
-    never share ``Activity`` objects) and replayed in global timestamp
-    order -- the arrival order of an online feed.  Returns the same
-    :class:`~repro.core.tracer.TraceResult` as :meth:`RubisRunResult.trace`,
-    so every analysis helper (patterns, profiles, accuracy) applies
-    unchanged to the streaming output.
+    Thin wrapper over ``BackendSpec.streaming``; the default
+    ``skew_bound`` is derived from the run's own configured clock skew.
     """
     if skew_bound is None:
         skew_bound = max(run.clock_skew * 2.0, 1e-4)
-    correlator = StreamingCorrelator(
-        window=window,
-        horizon=horizon,
-        skew_bound=skew_bound,
-        chunk_size=chunk_size,
+    return trace_run(
+        run,
+        BackendSpec.streaming(
+            window=window,
+            horizon=horizon,
+            skew_bound=skew_bound,
+            chunk_size=chunk_size,
+        ),
     )
-    return TraceResult(correlation=correlator.correlate(run.activities()))
 
 
 def sharded_trace(
@@ -119,9 +130,15 @@ def sharded_trace(
     window: float = 0.010,
     max_workers: Optional[int] = None,
     max_shards: Optional[int] = None,
+    executor: str = "thread",
 ) -> TraceResult:
-    """Trace a completed run through the sharded parallel correlator."""
-    correlator = ShardedCorrelator(
-        window=window, max_workers=max_workers, max_shards=max_shards
+    """Trace a completed run through the sharded parallel backend."""
+    return trace_run(
+        run,
+        BackendSpec.sharded(
+            window=window,
+            max_workers=max_workers,
+            max_shards=max_shards,
+            executor=executor,
+        ),
     )
-    return TraceResult(correlation=correlator.correlate(run.activities()))

@@ -1,0 +1,209 @@
+"""Correlation backends behind one declarative spec.
+
+The repo grew three correlation drivers -- the offline batch
+:class:`~repro.core.correlator.Correlator`, the online
+:class:`~repro.stream.StreamingCorrelator` and the parallel
+:class:`~repro.stream.ShardedCorrelator` -- each with its own knobs.
+:class:`BackendSpec` is the one value object that names a driver and
+carries its knobs, so callers (CLI, experiments, examples, tests) select
+a backend declaratively instead of wiring a correlator by hand::
+
+    spec = BackendSpec.streaming(horizon=5.0)
+    result = spec.correlate(activities)          # CorrelationResult
+    trace = spec.trace(activities)               # TraceResult
+
+All three backends produce the same
+:class:`~repro.core.correlator.CorrelationResult` type, and -- with
+eviction disabled -- the same finished CAGs (the equivalence asserted by
+:func:`repro.pipeline.verify_equivalence`).  Which knobs apply:
+
+============  =========================================================
+``batch``     ``window`` only
+``streaming`` ``window``, ``horizon``, ``skew_bound``, ``chunk_size``
+``sharded``   ``window``, ``max_shards``, ``max_workers``, ``executor``
+============  =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, List, Optional
+
+from ..core.activity import Activity
+from ..core.cag import CAG
+from ..core.correlator import CorrelationResult, Correlator
+from ..core.tracer import TraceResult
+from ..stream import ShardedCorrelator, StreamingCorrelator
+from ..stream.sharded import EXECUTOR_KINDS
+
+#: The three backend kinds, in canonical (equivalence-matrix) order.
+BACKEND_KINDS = ("batch", "streaming", "sharded")
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """A correlation driver plus its knobs, as one comparable value.
+
+    Frozen so specs can key caches and appear in reprs/reports; use
+    :meth:`with_overrides` (or :func:`dataclasses.replace`) to derive
+    variants.
+    """
+
+    kind: str = "batch"
+    #: sliding-time-window size in seconds (all backends)
+    window: float = 0.010
+    #: streaming eviction horizon in seconds (``None`` = never evict)
+    horizon: Optional[float] = None
+    #: streaming reorder slack: upper bound on node clock skew, seconds
+    skew_bound: float = 0.005
+    #: streaming ingestion chunk size, activities
+    chunk_size: int = 256
+    #: sharded: upper bound on shard count (``None`` = one per component)
+    max_shards: Optional[int] = None
+    #: sharded: worker-pool size (``None`` = executor heuristic)
+    max_workers: Optional[int] = None
+    #: sharded: ``"thread"`` (GIL-bounded, zero copy) or ``"process"``
+    #: (true parallelism, shards pickled across the boundary)
+    executor: str = "thread"
+
+    def __post_init__(self) -> None:
+        if self.kind not in BACKEND_KINDS:
+            raise ValueError(
+                f"unknown backend kind {self.kind!r}; valid kinds: "
+                f"{', '.join(BACKEND_KINDS)}"
+            )
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if self.horizon is not None and self.horizon <= 0:
+            raise ValueError("horizon must be positive (or None to disable)")
+        if self.skew_bound < 0:
+            raise ValueError("skew_bound must be non-negative")
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if self.executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; valid executors: "
+                f"{', '.join(EXECUTOR_KINDS)}"
+            )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def batch(cls, window: float = 0.010) -> "BackendSpec":
+        return cls(kind="batch", window=window)
+
+    @classmethod
+    def streaming(
+        cls,
+        window: float = 0.010,
+        horizon: Optional[float] = None,
+        skew_bound: float = 0.005,
+        chunk_size: int = 256,
+    ) -> "BackendSpec":
+        return cls(
+            kind="streaming",
+            window=window,
+            horizon=horizon,
+            skew_bound=skew_bound,
+            chunk_size=chunk_size,
+        )
+
+    @classmethod
+    def sharded(
+        cls,
+        window: float = 0.010,
+        max_shards: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        executor: str = "thread",
+    ) -> "BackendSpec":
+        return cls(
+            kind="sharded",
+            window=window,
+            max_shards=max_shards,
+            max_workers=max_workers,
+            executor=executor,
+        )
+
+    def with_overrides(self, **kwargs) -> "BackendSpec":
+        """A copy of this spec with some fields replaced."""
+        return replace(self, **kwargs)
+
+    # -- execution -----------------------------------------------------------
+
+    def make_correlator(self):
+        """Instantiate the configured driver."""
+        if self.kind == "batch":
+            return Correlator(window=self.window)
+        if self.kind == "streaming":
+            return StreamingCorrelator(
+                window=self.window,
+                horizon=self.horizon,
+                skew_bound=self.skew_bound,
+                chunk_size=self.chunk_size,
+            )
+        return ShardedCorrelator(
+            window=self.window,
+            max_workers=self.max_workers,
+            max_shards=self.max_shards,
+            executor=self.executor,
+        )
+
+    def correlate(
+        self,
+        activities: Iterable[Activity],
+        on_cag: Optional[Callable[[CAG], None]] = None,
+    ) -> CorrelationResult:
+        """Run the configured driver over ``activities``.
+
+        ``on_cag`` is invoked once per finished CAG.  On the streaming
+        backend it fires *as requests finish* (mid-stream, the online
+        monitoring hook); the batch and sharded backends only know their
+        CAGs after the full pass, so there it fires afterwards, in ranked
+        order.
+        """
+        correlator = self.make_correlator()
+        if self.kind == "streaming" and on_cag is not None:
+            engine = correlator.make_engine()
+            for cag in correlator.correlate_iter(activities, engine=engine):
+                on_cag(cag)
+            return engine.result()
+        result = correlator.correlate(activities)
+        if on_cag is not None:
+            for cag in result.cags:
+                on_cag(cag)
+        return result
+
+    def trace(
+        self,
+        activities: Iterable[Activity],
+        on_cag: Optional[Callable[[CAG], None]] = None,
+    ) -> TraceResult:
+        """Like :meth:`correlate`, wrapped in the analysis-ready
+        :class:`~repro.core.tracer.TraceResult`."""
+        return TraceResult(correlation=self.correlate(activities, on_cag=on_cag))
+
+    def describe(self) -> str:
+        """One-line human description (CLI banners, reports)."""
+        parts: List[str] = [f"window={self.window:g}s"]
+        if self.kind == "streaming":
+            horizon = "none" if self.horizon is None else f"{self.horizon:g}s"
+            parts.append(f"horizon={horizon}")
+            parts.append(f"skew_bound={self.skew_bound:g}s")
+            parts.append(f"chunk_size={self.chunk_size}")
+        elif self.kind == "sharded":
+            if self.max_shards is not None:
+                parts.append(f"max_shards={self.max_shards}")
+            if self.max_workers is not None:
+                parts.append(f"max_workers={self.max_workers}")
+            parts.append(f"executor={self.executor}")
+        return f"{self.kind} ({', '.join(parts)})"
+
+
+def default_backends(window: float = 0.010, **streaming_knobs) -> List[BackendSpec]:
+    """One spec per backend kind at a shared window -- the equivalence
+    matrix's default axis."""
+    return [
+        BackendSpec.batch(window=window),
+        BackendSpec.streaming(window=window, **streaming_knobs),
+        BackendSpec.sharded(window=window),
+    ]

@@ -1,0 +1,109 @@
+"""Pipeline sinks: where trace artefacts are written.
+
+A *sink* persists something about a completed pipeline run -- the
+terminal/offline equivalents of the paper's figures.  Sinks are small
+named objects with ``write(session) -> List[Path]``; the pipeline runs
+each sink after the analysis stages and records the written paths on the
+session (``session.artifacts``).
+
+=======================  ==================================================
+:class:`SummaryJsonSink` one ``trace_summary`` JSON document for the whole
+                         trace (patterns, percentages, correlator stats)
+:class:`CagJsonlSink`    the CAG stream as JSON Lines -- one
+                         :func:`~repro.core.export.cag_to_dict` object per
+                         line, the shape downstream dashboards ingest
+:class:`DotSink`         Graphviz DOT files for the first N causal paths
+                         (the paper's Fig. 1 view)
+=======================  ==================================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..core.export import cag_to_dict, cag_to_dot, trace_summary
+
+
+class Sink:
+    """Base class (optional -- duck typing suffices) for pipeline sinks."""
+
+    name: str = "sink"
+
+    def write(self, session) -> List[Path]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SummaryJsonSink(Sink):
+    """Write the compact :func:`~repro.core.export.trace_summary` JSON."""
+
+    name = "summary_json"
+
+    def __init__(self, path: Union[str, os.PathLike], top_patterns: int = 5) -> None:
+        self.path = Path(path)
+        self.top_patterns = top_patterns
+
+    def write(self, session) -> List[Path]:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        summary = trace_summary(session.trace, top_patterns=self.top_patterns)
+        summary["backend"] = session.backend.describe()
+        summary["source"] = session.source.describe()
+        self.path.write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return [self.path]
+
+
+class CagJsonlSink(Sink):
+    """Stream every completed CAG as one JSON object per line."""
+
+    name = "cag_jsonl"
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        include_incomplete: bool = False,
+        limit: Optional[int] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.include_incomplete = include_incomplete
+        self.limit = limit
+
+    def write(self, session) -> List[Path]:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        cags = list(session.trace.cags)
+        if self.include_incomplete:
+            cags.extend(session.trace.incomplete_cags)
+        if self.limit is not None:
+            cags = cags[: self.limit]
+        with self.path.open("w", encoding="utf-8") as handle:
+            for cag in cags:
+                handle.write(json.dumps(cag_to_dict(cag), sort_keys=True))
+                handle.write("\n")
+        return [self.path]
+
+
+class DotSink(Sink):
+    """Write Graphviz DOT files for the first ``limit`` causal paths."""
+
+    name = "dot"
+
+    def __init__(self, directory: Union[str, os.PathLike], limit: int = 5) -> None:
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        self.directory = Path(directory)
+        self.limit = limit
+
+    def write(self, session) -> List[Path]:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        written: List[Path] = []
+        for index, cag in enumerate(session.trace.cags[: self.limit]):
+            path = self.directory / f"cag_{index:04d}.dot"
+            path.write_text(
+                cag_to_dot(cag, title=f"CAG {index} ({cag.cag_id})") + "\n",
+                encoding="utf-8",
+            )
+            written.append(path)
+        return written

@@ -25,16 +25,22 @@ Two practical notes:
   reduces to the batch path, still correct, just not parallel).  Client
   churn, per-request connections and multi-frontend deployments shard
   well.
-* Workers are threads, not processes: shards share the Python runtime,
-  so the speed-up on CPython is bounded by the GIL for pure-Python work,
-  but the partitioning itself is the architectural seam a distributed
-  driver would use to place shards on different machines.
+* Two executors are available (``executor="thread"`` is the default).
+  Threads share the Python runtime, so the speed-up on CPython is bounded
+  by the GIL for pure-Python work; ``executor="process"`` ships each
+  shard to a worker process (activities and results are pickled across
+  the boundary), buying true CPU parallelism at a serialisation cost
+  that pays off on large shards.  Either way the partitioning itself is
+  the architectural seam a distributed driver would use to place shards
+  on different machines.  Process workers correlate *copies*, so the
+  caller's activity objects are left unmutated; the returned CAGs are
+  byte-identical either way.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import fields
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
@@ -143,6 +149,7 @@ def merge_results(
     window: float,
     elapsed: float,
     total_activities: int,
+    shard_sizes: Optional[Sequence[int]] = None,
 ) -> CorrelationResult:
     """Merge per-shard correlation results into one batch-shaped result.
 
@@ -170,7 +177,17 @@ def merge_results(
         engine_stats=merge_engine_stats([p.engine_stats for p in parts]),
         window=window,
         total_activities=total_activities,
+        shard_sizes=list(shard_sizes) if shard_sizes is not None else None,
     )
+
+
+def _correlate_shard(window: float, shard: Sequence[Activity]) -> CorrelationResult:
+    """Correlate one shard (module-level so process pools can pickle it)."""
+    return Correlator(window=window).correlate(shard)
+
+
+#: Executor kinds accepted by :class:`ShardedCorrelator`.
+EXECUTOR_KINDS = ("thread", "process")
 
 
 class ShardedCorrelator:
@@ -183,11 +200,16 @@ class ShardedCorrelator:
         Sliding-time-window size in seconds (per shard, identical
         semantics to the batch correlator).
     max_workers:
-        Thread-pool size for shard correlation (default: executor's own
+        Pool size for shard correlation (default: executor's own
         heuristic).
     max_shards:
         Upper bound on shard count; components are folded together above
         it.  ``None`` keeps one shard per connected component.
+    executor:
+        ``"thread"`` (default) correlates shards on a thread pool --
+        zero serialisation cost, GIL-bounded; ``"process"`` ships shards
+        to worker processes for true CPU parallelism (shards and results
+        cross a pickle boundary, so it pays off on large traces).
     """
 
     def __init__(
@@ -195,12 +217,19 @@ class ShardedCorrelator:
         window: float = 0.010,
         max_workers: Optional[int] = None,
         max_shards: Optional[int] = None,
+        executor: str = "thread",
     ) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
+        if executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor {executor!r}; valid executors: "
+                f"{', '.join(EXECUTOR_KINDS)}"
+            )
         self.window = window
         self.max_workers = max_workers
         self.max_shards = max_shards
+        self.executor = executor
         #: shard sizes of the last ``correlate`` call (for reporting)
         self.last_shard_sizes: List[int] = []
 
@@ -215,13 +244,19 @@ class ShardedCorrelator:
         if len(shards) == 1:
             part = Correlator(window=self.window).correlate(shards[0])
             elapsed = time.perf_counter() - start
-            return merge_results([part], self.window, elapsed, len(ordered))
-        with ThreadPoolExecutor(max_workers=self.max_workers) as executor:
+            return merge_results(
+                [part], self.window, elapsed, len(ordered),
+                shard_sizes=self.last_shard_sizes,
+            )
+        pool_cls = (
+            ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
+        )
+        with pool_cls(max_workers=self.max_workers) as pool:
             parts = list(
-                executor.map(
-                    lambda shard: Correlator(window=self.window).correlate(shard),
-                    shards,
-                )
+                pool.map(_correlate_shard, [self.window] * len(shards), shards)
             )
         elapsed = time.perf_counter() - start
-        return merge_results(parts, self.window, elapsed, len(ordered))
+        return merge_results(
+            parts, self.window, elapsed, len(ordered),
+            shard_sizes=self.last_shard_sizes,
+        )

@@ -96,9 +96,37 @@ class TestCli:
         output = capsys.readouterr().out
         assert "finished paths" in output
 
-    def test_stream_input_requires_frontend(self):
-        with pytest.raises(SystemExit):
-            main(["stream", "--input", "/tmp/nope.log"])
+    def test_stream_input_requires_frontend(self, capsys):
+        code = main(["stream", "--input", "/tmp/nope.log"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "--input requires --frontend" in err
+
+    def test_stream_bad_frontend_exits_2_with_one_line(self, capsys):
+        code = main(["stream", "--input", "/tmp/nope.log", "--frontend", "oops"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "bad --frontend" in err
+
+    def test_stream_input_rejects_simulation_flags(self, tmp_path, capsys):
+        path = tmp_path / "trace.log"
+        path.write_text("", encoding="utf-8")
+        code = main(
+            ["stream", "--input", str(path), "--frontend", "10.0.0.1:80", "--noise"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "cannot be combined with --input" in err
+
+    def test_stream_bad_chunk_size_exits_2_with_one_line(self, capsys):
+        code = main(["stream", "--chunk-size", "0", "--runtime", "2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "--chunk-size" in err
 
     def test_stream_missing_input_file_exits_2_with_one_line(self, capsys):
         code = main(["stream", "--input", "/tmp/definitely-not-here.log",
@@ -125,6 +153,54 @@ class TestCli:
         output = capsys.readouterr().out
         assert "scenario cache_aside" in output
         assert "100.00 %" in output
+
+    def test_trace_json_output_is_a_trace_summary(self, capsys):
+        import json
+
+        code = main(
+            ["trace", "--clients", "15", "--runtime", "3", "--seed", "5", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "trace"
+        assert payload["accuracy"] == 1.0
+        assert payload["requests"] > 0
+        assert payload["backend"].startswith("batch")
+        assert payload["patterns"]  # trace_summary's ranked pattern rows
+
+    def test_simulate_json_output(self, capsys):
+        import json
+
+        code = main(
+            ["simulate", "--scenario", "cache_aside", "--runtime", "3",
+             "--seed", "9", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "simulate"
+        assert payload["scenario"] == "cache_aside"
+        assert payload["accuracy"] == 1.0
+
+    def test_stream_json_output_sharded(self, capsys):
+        import json
+
+        code = main(
+            ["stream", "--clients", "10", "--runtime", "3", "--seed", "9",
+             "--shards", "2", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "stream"
+        assert payload["backend"].startswith("sharded")
+        assert payload["shards"] >= 1
+        assert payload["accuracy"] == 1.0
+
+    def test_simulate_json_with_list_exits_2_with_one_line(self, capsys):
+        code = main(["simulate", "--list", "--json"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "--json cannot be combined with --list" in err
 
     def test_simulate_lists_scenarios(self, capsys):
         assert main(["simulate", "--list"]) == 0

@@ -1,0 +1,378 @@
+"""Tests for the unified pipeline facade (repro.pipeline).
+
+The load-bearing test is the **equivalence matrix**: every scenario of
+the topology library, run through all three backends (batch, streaming,
+sharded), must produce byte-identical correlation results -- asserted
+both pairwise (``verify_equivalence``) and against the pinned golden
+digests in ``tests/golden_pipeline_digests.json``, so any engine,
+ranker, topology or backend change that silently alters a reconstruction
+shows up here first.
+
+Regenerate the golden file after an *intentional* output change with::
+
+    PYTHONPATH=src:tests python tests/test_pipeline.py --regenerate
+
+The rest covers the facade (sources, stages, sinks), the process-pool
+sharded executor, and the mismatch-reporting path of the equivalence API.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from helpers import SyntheticTrace
+from repro.core.activity import ActivityType
+from repro.core.log_format import format_record
+from repro.pipeline import (
+    AccuracyStage,
+    BackendSpec,
+    BreakdownStage,
+    CagJsonlSink,
+    DiagnosisStage,
+    DotSink,
+    EquivalenceError,
+    LogSource,
+    MemorySource,
+    PatternStage,
+    Pipeline,
+    ProfileStage,
+    RankedLatencyStage,
+    RunSource,
+    SummaryJsonSink,
+    as_source,
+    result_digest,
+    verify_equivalence,
+)
+from repro.topology.library import ScenarioConfig, scenario_names
+from repro.topology.workload import WorkloadStages
+
+#: Shared matrix run parameters -- the golden digests are pinned for
+#: exactly these (change them only together with --regenerate).
+MATRIX_STAGES = WorkloadStages(up_ramp=0.5, runtime=4.0, down_ramp=0.5)
+MATRIX_SEED = 11
+MATRIX_WINDOW = 0.010
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden_pipeline_digests.json"
+
+
+def matrix_config(name: str) -> ScenarioConfig:
+    """The pinned run configuration of one matrix scenario."""
+    overrides = {"clients": 40} if name == "rubis" else {}
+    return ScenarioConfig(
+        scenario=name, stages=MATRIX_STAGES, seed=MATRIX_SEED, **overrides
+    )
+
+
+@pytest.fixture(scope="session")
+def matrix_sources():
+    """One lazily-executed, memoised source per library scenario."""
+    return {name: RunSource(config=matrix_config(name)) for name in scenario_names()}
+
+
+# ---------------------------------------------------------------------------
+# the equivalence matrix: 5 scenarios x 3 backends, pinned
+# ---------------------------------------------------------------------------
+
+
+class TestEquivalenceMatrix:
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_all_backends_identical_and_pinned(self, matrix_sources, name):
+        report = verify_equivalence(matrix_sources[name], window=MATRIX_WINDOW)
+        assert {o.kind for o in report.outcomes} == {"batch", "streaming", "sharded"}
+        assert report.equivalent, report.describe()
+        golden = json.loads(GOLDEN_PATH.read_text("utf-8"))
+        assert report.digest == golden[name], (
+            f"{name}: pipeline output diverged from the pinned golden digest "
+            "(if intentional, regenerate with "
+            "`PYTHONPATH=src:tests python tests/test_pipeline.py --regenerate`)"
+        )
+
+    def test_process_executor_matches_thread_executor(self, matrix_sources):
+        source = matrix_sources["fanout_aggregator"]
+        thread = BackendSpec.sharded(window=MATRIX_WINDOW, executor="thread")
+        process = BackendSpec.sharded(window=MATRIX_WINDOW, executor="process")
+        thread_result = thread.correlate(source.activities())
+        process_result = process.correlate(source.activities())
+        assert result_digest(process_result) == result_digest(thread_result)
+        # CAGs that crossed the process boundary are structurally intact.
+        for cag in process_result.cags[:20]:
+            cag.validate()
+
+    def test_pipeline_verify_equivalence_uses_the_pipeline_window(self, matrix_sources):
+        pipeline = Pipeline(
+            matrix_sources["cache_aside"], backend=BackendSpec.batch(window=0.005)
+        )
+        report = pipeline.verify_equivalence()
+        assert report.equivalent, report.describe()
+        assert all(o.backend.window == 0.005 for o in report.outcomes)
+
+
+class TestEquivalenceReporting:
+    def _divergent_trace(self) -> SyntheticTrace:
+        """A trace where a short streaming horizon genuinely changes the
+        output: a request whose BEGIN sits idle far longer than the
+        horizon (its state is evicted before the work arrives) plus
+        steady unrelated traffic that keeps the watermark moving."""
+        trace = SyntheticTrace()
+        trace.three_tier_request(request_id=1, start=0.5, web_pid=100)
+        # the straggler: BEGIN now, work only after a long idle gap
+        trace.three_tier_request(request_id=2, start=6.0, web_pid=101)
+        straggler_begin = next(
+            a for a in trace.activities
+            if a.request_id == 2 and a.type is ActivityType.BEGIN
+        )
+        straggler_begin.timestamp = 0.6
+        # watermark movers between the BEGIN and the late work
+        for index in range(3, 7):
+            trace.three_tier_request(
+                request_id=index, start=1.0 + index * 0.8, web_pid=100 + index
+            )
+        return trace
+
+    def test_mismatch_is_reported_not_hidden(self):
+        trace = self._divergent_trace()
+        source = MemorySource(trace.activities)
+        backends = [
+            BackendSpec.batch(window=MATRIX_WINDOW),
+            BackendSpec.streaming(window=MATRIX_WINDOW, horizon=1.0, skew_bound=0.001),
+        ]
+        report = verify_equivalence(source, backends=backends)
+        assert not report.equivalent
+        assert report.digest is None
+        assert [o.kind for o in report.mismatches()] == ["streaming"]
+        assert "MISMATCH" in report.describe()
+        with pytest.raises(EquivalenceError):
+            report.require()
+
+    def test_generous_horizon_restores_equivalence(self):
+        trace = self._divergent_trace()
+        source = MemorySource(trace.activities)
+        backends = [
+            BackendSpec.batch(window=MATRIX_WINDOW),
+            BackendSpec.streaming(window=MATRIX_WINDOW, horizon=60.0, skew_bound=0.001),
+        ]
+        verify_equivalence(source, backends=backends).require()
+
+
+# ---------------------------------------------------------------------------
+# sources
+# ---------------------------------------------------------------------------
+
+
+class TestSources:
+    def test_as_source_adapts_configs_runs_and_lists(self, tiny_run):
+        from helpers import tiny_config
+
+        assert isinstance(as_source(tiny_config()), RunSource)
+        assert isinstance(as_source(tiny_run), RunSource)
+        assert isinstance(as_source(tiny_run.activities()), MemorySource)
+        source = as_source(tiny_run)
+        assert source is as_source(source)  # sources pass through
+        with pytest.raises(TypeError):
+            as_source("/var/log/trace.log")  # log files need a frontend
+
+    def test_run_source_hands_out_fresh_activities(self, tiny_run):
+        source = RunSource.from_run(tiny_run)
+        first = source.activities()
+        second = source.activities()
+        assert len(first) == len(second) == tiny_run.total_activities
+        assert first[0] is not second[0]
+        assert source.ground_truth is tiny_run.ground_truth
+
+    def test_memory_source_clones_protect_the_originals(self, tiny_run):
+        source = MemorySource(tiny_run.activities())
+        spec = BackendSpec.batch(window=MATRIX_WINDOW)
+        # Two passes over the same source: if the first pass's in-place
+        # byte merging leaked into the held originals, the second digest
+        # would differ.
+        assert result_digest(spec.correlate(source.activities())) == result_digest(
+            spec.correlate(source.activities())
+        )
+
+    def test_log_source_matches_the_simulation_source(self, tiny_run, tmp_path):
+        # One log file per node, as a real deployment would hand us.
+        paths = []
+        for node, records in sorted(tiny_run.records_by_node.items()):
+            path = tmp_path / f"tcp_trace_{node}.log"
+            path.write_text(
+                "".join(format_record(record) + "\n" for record in records),
+                encoding="utf-8",
+            )
+            paths.append(path)
+        log_source = LogSource(
+            paths,
+            frontend=tiny_run.frontend_spec(),
+            ignore_programs=set(tiny_run.topology.ignore_programs),
+        )
+        # The text round trip truncates timestamps to the TCP_TRACE
+        # format's 6-decimal precision, so digests cannot be compared
+        # against the in-memory source; the reconstruction itself must
+        # still be complete and exact.
+        session = Pipeline(
+            source=log_source,
+            backend=BackendSpec.batch(window=MATRIX_WINDOW),
+        ).run()
+        assert session.request_count == tiny_run.completed_requests
+        assert log_source.malformed_lines == 0
+        from repro.core.accuracy import path_accuracy
+
+        report = path_accuracy(
+            session.cags, tiny_run.ground_truth, time_tolerance=1e-5
+        )
+        assert report.accuracy == 1.0
+        # and the three backends agree on the file-based source too
+        verify_equivalence(log_source, window=MATRIX_WINDOW).require()
+
+    def test_log_source_counts_malformed_lines(self, tiny_run, tmp_path):
+        path = tmp_path / "torn.log"
+        lines = [format_record(r) for r in tiny_run.all_records()[:10]]
+        lines.insert(3, "this is not a record")
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        source = LogSource(path, frontend=tiny_run.frontend_spec())
+        activities = source.activities()
+        assert len(activities) == 10
+        assert source.malformed_lines == 1
+
+
+# ---------------------------------------------------------------------------
+# the facade: stages and sinks
+# ---------------------------------------------------------------------------
+
+
+class TestPipelineFacade:
+    def test_stages_and_sinks_compose(self, tiny_run, tmp_path):
+        pipeline = Pipeline(
+            source=tiny_run,
+            backend=BackendSpec.streaming(window=MATRIX_WINDOW, skew_bound=0.002),
+            stages=[
+                AccuracyStage(),
+                RankedLatencyStage(top=3),
+                PatternStage(),
+                BreakdownStage(),
+                ProfileStage("tiny"),
+            ],
+            sinks=[
+                SummaryJsonSink(tmp_path / "summary.json"),
+                CagJsonlSink(tmp_path / "cags.jsonl"),
+                DotSink(tmp_path / "dot", limit=2),
+            ],
+        )
+        session = pipeline.run()
+
+        assert session.request_count == tiny_run.completed_requests
+        assert session.analyses["accuracy"].accuracy == 1.0
+        ranked = session.analyses["ranked_latency"]
+        assert 0 < len(ranked) <= 3
+        assert ranked[0]["rank"] == 1
+        assert ranked[0]["paths"] >= ranked[-1]["paths"]  # most frequent first
+        assert sum(ranked[0]["percentages"].values()) == pytest.approx(100.0)
+        assert session.analyses["patterns"]
+        assert session.analyses["breakdown"].total > 0
+        assert session.analyses["profile"].percentages
+
+        summary = json.loads((tmp_path / "summary.json").read_text("utf-8"))
+        assert summary["requests"] == session.request_count
+        assert summary["backend"].startswith("streaming")
+
+        jsonl_lines = (tmp_path / "cags.jsonl").read_text("utf-8").splitlines()
+        assert len(jsonl_lines) == session.request_count
+        first = json.loads(jsonl_lines[0])
+        assert first["finished"] and first["vertices"]
+
+        dots = sorted((tmp_path / "dot").glob("*.dot"))
+        assert len(dots) == 2
+        assert "digraph cag" in dots[0].read_text("utf-8")
+
+        assert set(session.artifacts) == {"summary_json", "cag_jsonl", "dot"}
+
+    def test_on_cag_hook_fires_per_finished_path(self, tiny_run):
+        seen = []
+        session = Pipeline(
+            source=tiny_run,
+            backend=BackendSpec.streaming(window=MATRIX_WINDOW, skew_bound=0.002),
+        ).run(on_cag=seen.append)
+        assert len(seen) == session.request_count
+
+    def test_with_backend_swaps_only_the_driver(self, tiny_run):
+        base = Pipeline(source=tiny_run, stages=[AccuracyStage()])
+        sharded = base.with_backend(BackendSpec.sharded(window=MATRIX_WINDOW))
+        assert sharded.source is base.source
+        session = sharded.run()
+        assert session.backend.kind == "sharded"
+        assert session.analyses["accuracy"].accuracy == 1.0
+
+    def test_accuracy_stage_requires_ground_truth(self, tiny_run):
+        pipeline = Pipeline(
+            source=MemorySource(tiny_run.activities()), stages=[AccuracyStage()]
+        )
+        with pytest.raises(ValueError, match="ground truth"):
+            pipeline.run()
+
+    def test_diagnosis_stage_accepts_a_reference_session(self, tiny_run):
+        reference = Pipeline(source=tiny_run, stages=[ProfileStage("healthy")]).run()
+        session = Pipeline(
+            source=tiny_run,
+            stages=[DiagnosisStage(reference, threshold=5.0)],
+        ).run()
+        diagnosis = session.analyses["diagnosis"]
+        # same trace against itself: nothing above the threshold
+        assert diagnosis.suspected_components() == []
+
+
+# ---------------------------------------------------------------------------
+# backend spec validation
+# ---------------------------------------------------------------------------
+
+
+class TestBackendSpec:
+    def test_bad_parameters_are_rejected(self):
+        with pytest.raises(ValueError):
+            BackendSpec(kind="quantum")
+        with pytest.raises(ValueError):
+            BackendSpec(window=0.0)
+        with pytest.raises(ValueError):
+            BackendSpec.streaming(horizon=-1.0)
+        with pytest.raises(ValueError):
+            BackendSpec.streaming(chunk_size=0)
+        with pytest.raises(ValueError):
+            BackendSpec.sharded(executor="fiber")
+
+    def test_describe_names_the_driver_and_knobs(self):
+        assert BackendSpec.batch(window=0.002).describe() == "batch (window=0.002s)"
+        streaming = BackendSpec.streaming(horizon=5.0).describe()
+        assert "streaming" in streaming and "horizon=5s" in streaming
+        sharded = BackendSpec.sharded(executor="process", max_shards=8).describe()
+        assert "executor=process" in sharded and "max_shards=8" in sharded
+
+    def test_sharded_result_reports_shard_sizes(self, tiny_run):
+        result = BackendSpec.sharded(window=MATRIX_WINDOW, max_shards=4).correlate(
+            tiny_run.activities()
+        )
+        assert result.shard_sizes is not None
+        assert sum(result.shard_sizes) == tiny_run.total_activities
+        batch = BackendSpec.batch(window=MATRIX_WINDOW).correlate(tiny_run.activities())
+        assert batch.shard_sizes is None
+
+
+def _regenerate_goldens() -> None:
+    digests = {}
+    for name in scenario_names():
+        report = verify_equivalence(
+            RunSource(config=matrix_config(name)), window=MATRIX_WINDOW
+        ).require()
+        digests[name] = report.digest
+        print(f"{name:20s} {report.digest}")
+    GOLDEN_PATH.write_text(json.dumps(digests, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate_goldens()
+    else:
+        print(__doc__)

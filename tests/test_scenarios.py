@@ -13,6 +13,7 @@ import pytest
 
 from repro.core.correlator import Correlator
 from repro.experiments.runner import sharded_trace, stream_trace
+from repro.pipeline import canonical_cags
 from repro.services.faults import FaultConfig
 from repro.services.noise import NoiseConfig
 from repro.topology import ScenarioConfig, get_scenario, run_scenario, scenario_names
@@ -28,23 +29,6 @@ def small_run(name, **overrides):
     overrides.setdefault("stages", STAGES)
     overrides.setdefault("seed", 11)
     return run_scenario(ScenarioConfig(scenario=name, **overrides))
-
-
-def canonical_cags(cags):
-    shapes = []
-    for cag in cags:
-        edges = sorted(
-            (
-                edge.kind,
-                (edge.parent.type.name, round(edge.parent.timestamp, 9),
-                 edge.parent.context_key, edge.parent.size),
-                (edge.child.type.name, round(edge.child.timestamp, 9),
-                 edge.child.context_key, edge.child.size),
-            )
-            for edge in cag.edges
-        )
-        shapes.append(((cag.root.type.name, round(cag.root.timestamp, 9)), tuple(edges)))
-    return sorted(shapes)
 
 
 class TestLibrary:

@@ -19,7 +19,7 @@ from repro.core.engine import CorrelationEngine
 from repro.core.index_maps import ContextMap, MessageMap
 from repro.core.latency import average_breakdown
 from repro.core.log_format import LineAssembler, format_record
-from repro.core.patterns import PatternClassifier
+from repro.pipeline import canonical_cags, ranked_latency_report  # first-class equivalence API
 from repro.stream import (
     ActivityStream,
     FileTailSource,
@@ -34,41 +34,8 @@ from repro.stream import (
 )
 
 
-def canonical_cags(cags):
-    """Order-independent fingerprint: one (root, edge-multiset) per CAG."""
-
-    def fingerprint(activity):
-        return (
-            activity.type.name,
-            round(activity.timestamp, 9),
-            activity.context_key,
-            activity.message.connection_key(),
-            activity.size,
-        )
-
-    shapes = []
-    for cag in cags:
-        edges = sorted(
-            (edge.kind, fingerprint(edge.parent), fingerprint(edge.child))
-            for edge in cag.edges
-        )
-        shapes.append((fingerprint(cag.root), tuple(edges)))
-    return sorted(shapes)
-
-
-def ranked_latency_report(cags):
-    """(pattern signature, count, rounded percentages) rows, most frequent
-    first -- the paper's ranked latency-percentage report."""
-    classifier = PatternClassifier()
-    classifier.add_all(cags)
-    report = []
-    for pattern in classifier.patterns:
-        percentages = {
-            label: round(value, 6)
-            for label, value in pattern.average_path().percentages().items()
-        }
-        report.append((pattern.signature, pattern.count, percentages))
-    return report
+# canonical_cags / ranked_latency_report used to be local helpers here;
+# they are now the first-class equivalence API in repro.pipeline.
 
 
 def synthetic_workload(requests=12, skew=0.003, queries=2, noise=2):
