@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.accuracy import GroundTruthRequest
-from ..core.activity import Activity, ActivityType
+from ..core.activity import Activity
 
 
 @dataclass

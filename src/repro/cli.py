@@ -20,6 +20,12 @@ Examples::
     # correlate online: simulate, then replay the logs incrementally
     precisetracer stream --clients 150 --horizon 5
 
+    # overhead control: trace a deterministic 25% of the requests
+    precisetracer stream --clients 150 --sample-rate 0.25
+
+    # or cap tracing at 40 requests per second of trace time
+    precisetracer trace --clients 300 --sample-budget 40
+
     # correlate an existing TCP_TRACE log file (read once, incrementally)
     precisetracer stream --input /var/log/tcp_trace.log --frontend 10.0.0.1:80
 
@@ -89,6 +95,8 @@ from .pipeline import (
     Pipeline,
     ProfileStage,
     RunSource,
+    SamplingAccuracyStage,
+    SamplingSpec,
     TraceSession,
 )
 from .core.export import trace_summary
@@ -100,6 +108,27 @@ from .topology.library import ScenarioConfig, get_scenario, scenario_names
 
 #: Fault scenario names accepted by ``--fault``.
 FAULT_CHOICES = ["none", "ejb_delay", "database_lock", "ejb_network"]
+
+
+def _add_sampling_flags(parser: argparse.ArgumentParser) -> None:
+    """The request-sampling flags shared by trace/simulate/stream."""
+    parser.add_argument(
+        "--sample-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help=(
+            "trace a deterministic fraction of the requests (0 < RATE <= 1), "
+            "decided by hashing each request's causal root"
+        ),
+    )
+    parser.add_argument(
+        "--sample-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trace at most N requests per second of trace time",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -138,6 +167,7 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--noise", action="store_true", help="enable noise traffic")
     trace_parser.add_argument("--fault", choices=FAULT_CHOICES, default="none")
     trace_parser.add_argument("--seed", type=int, default=17)
+    _add_sampling_flags(trace_parser)
     trace_parser.add_argument(
         "--json", action="store_true", help="print the trace summary as JSON"
     )
@@ -175,6 +205,7 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--noise", action="store_true", help="enable noise traffic")
     simulate_parser.add_argument("--fault", choices=FAULT_CHOICES, default="none")
     simulate_parser.add_argument("--seed", type=int, default=17)
+    _add_sampling_flags(simulate_parser)
     simulate_parser.add_argument(
         "--json", action="store_true", help="print the trace summary as JSON"
     )
@@ -234,6 +265,7 @@ def _build_parser() -> argparse.ArgumentParser:
     stream_parser.add_argument("--noise", action="store_true", help="enable noise traffic")
     stream_parser.add_argument("--fault", choices=FAULT_CHOICES, default="none")
     stream_parser.add_argument("--seed", type=int, default=17)
+    _add_sampling_flags(stream_parser)
     stream_parser.add_argument(
         "--json", action="store_true", help="print the trace summary as JSON"
     )
@@ -244,7 +276,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     profile_parser.add_argument(
         "--figure",
-        choices=["fig9", "fig11s"],
+        choices=["fig9", "fig11s", "sampling"],
         default="fig9",
         help="which performance figure to regenerate (default: fig9)",
     )
@@ -286,6 +318,26 @@ def _fail(message: str) -> int:
     return 2
 
 
+def _sampling_from_args(args: argparse.Namespace) -> Optional[SamplingSpec]:
+    """Resolve the shared sampling flags into a spec (``None`` = trace all).
+
+    Raises :class:`ValueError` with a user-facing message on invalid
+    combinations; the commands convert that into the exit-2 path.
+    """
+    rate, budget = args.sample_rate, args.sample_budget
+    if rate is None and budget is None:
+        return None
+    if rate is not None and budget is not None:
+        raise ValueError("--sample-rate and --sample-budget are mutually exclusive")
+    if rate is not None:
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"--sample-rate must be in (0, 1], got {rate:g}")
+        return SamplingSpec.uniform(rate)
+    if budget <= 0:
+        raise ValueError(f"--sample-budget must be positive, got {budget}")
+    return SamplingSpec.budget(budget)
+
+
 # ---------------------------------------------------------------------------
 # Shared pipeline plumbing for trace / simulate / stream
 # ---------------------------------------------------------------------------
@@ -313,7 +365,19 @@ def _session_json(session: TraceSession, command: str, **extra) -> str:
     payload["command"] = command
     payload["backend"] = session.backend.describe()
     payload["source"] = session.source.describe()
-    if session.source.ground_truth is not None:
+    sampling = session.backend.sampling
+    if sampling is not None:
+        stats = session.trace.correlation.engine_stats
+        payload["sampling"] = sampling.describe()
+        payload["sampled_out_requests"] = stats.sampled_out_roots
+        if "sampling_accuracy" in session.analyses:
+            payload["sampling_accuracy"] = session.analyses[
+                "sampling_accuracy"
+            ].summary()
+    elif session.source.ground_truth is not None:
+        # Ground-truth path accuracy only makes sense for full traces: a
+        # sampled run is *meant* to miss requests, so scoring it against
+        # the full oracle would just re-measure the sampling rate.
         report = session.accuracy()
         payload["accuracy"] = report.accuracy
         payload["false_positives"] = report.false_positives
@@ -334,7 +398,26 @@ def _parse_frontend(text: str):
         return None
 
 
+def _print_sampling_report(session: TraceSession) -> None:
+    """Human-readable sampling lines shared by trace/simulate."""
+    stats = session.trace.correlation.engine_stats
+    print(f"requests sampled out    : {stats.sampled_out_roots}")
+    fidelity = session.analyses.get(SamplingAccuracyStage.name)
+    if fidelity is not None:
+        print(f"sample fraction         : {fidelity.sample_fraction * 100:.1f} %")
+        print(f"pattern coverage        : {fidelity.pattern_coverage * 100:.1f} %")
+        if fidelity.dominant_profile_distance is not None:
+            print(
+                "dominant profile drift  : "
+                f"{fidelity.dominant_profile_distance:.2f} pp"
+            )
+
+
 def _command_trace(args: argparse.Namespace) -> int:
+    try:
+        sampling = _sampling_from_args(args)
+    except ValueError as exc:
+        return _fail(str(exc))
     config = RubisConfig(
         clients=args.clients,
         workload=args.workload,
@@ -342,10 +425,13 @@ def _command_trace(args: argparse.Namespace) -> int:
         clock_skew=args.clock_skew,
         **_shared_run_fields(args),
     )
+    # A sampled trace is *supposed* to miss requests, so ground-truth
+    # path accuracy is replaced by sampled-vs-full report fidelity.
+    analysis = SamplingAccuracyStage() if sampling is not None else AccuracyStage()
     pipeline = Pipeline(
         source=config,
-        backend=BackendSpec.batch(window=args.window),
-        stages=[AccuracyStage(), ProfileStage("trace")],
+        backend=BackendSpec.batch(window=args.window, sampling=sampling),
+        stages=[analysis, ProfileStage("trace")],
     )
     session = pipeline.run()
     if args.json:
@@ -353,7 +439,6 @@ def _command_trace(args: argparse.Namespace) -> int:
         return 0
     run = session.run
     trace = session.trace
-    accuracy = session.analyses["accuracy"]
     print(f"simulated duration      : {run.simulated_duration:.1f} s")
     print(f"requests completed      : {run.completed_requests}")
     print(f"throughput              : {run.throughput:.1f} req/s")
@@ -361,7 +446,11 @@ def _command_trace(args: argparse.Namespace) -> int:
     print(f"activities logged       : {run.total_activities}")
     print(f"causal paths (CAGs)     : {trace.request_count}")
     print(f"correlation time        : {trace.correlation_time:.3f} s")
-    print(f"path accuracy           : {accuracy.accuracy * 100:.2f} %")
+    if sampling is not None:
+        _print_sampling_report(session)
+    else:
+        accuracy = session.analyses["accuracy"]
+        print(f"path accuracy           : {accuracy.accuracy * 100:.2f} %")
     profile = session.analyses["profile"]
     print("latency percentages of the dominant pattern:")
     for label, value in sorted(profile.percentages.items()):
@@ -382,6 +471,10 @@ def _command_simulate(args: argparse.Namespace) -> int:
             f"unknown scenario {args.scenario!r}; available scenarios: "
             f"{', '.join(scenario_names())}"
         )
+    try:
+        sampling = _sampling_from_args(args)
+    except ValueError as exc:
+        return _fail(str(exc))
     scenario = get_scenario(args.scenario)
     config = ScenarioConfig(
         scenario=args.scenario,
@@ -390,10 +483,11 @@ def _command_simulate(args: argparse.Namespace) -> int:
         workload_kind=args.workload_kind,
         **_shared_run_fields(args),
     )
+    analysis = SamplingAccuracyStage() if sampling is not None else AccuracyStage()
     pipeline = Pipeline(
         source=config,
-        backend=BackendSpec.batch(window=args.window),
-        stages=[AccuracyStage(), ProfileStage(scenario.name), PatternStage()],
+        backend=BackendSpec.batch(window=args.window, sampling=sampling),
+        stages=[analysis, ProfileStage(scenario.name), PatternStage()],
     )
     session = pipeline.run()
     if args.json:
@@ -401,7 +495,6 @@ def _command_simulate(args: argparse.Namespace) -> int:
         return 0
     run = session.run
     trace = session.trace
-    accuracy = session.analyses["accuracy"]
     tier_list = ", ".join(
         f"{tier.name}({tier.role}" + (f" x{tier.replicas})" if tier.replicas > 1 else ")")
         for tier in scenario.topology.front_to_back()
@@ -417,7 +510,11 @@ def _command_simulate(args: argparse.Namespace) -> int:
     print(f"causal paths (CAGs)     : {trace.request_count}")
     print(f"path patterns           : {len(session.analyses['patterns'])}")
     print(f"correlation time        : {trace.correlation_time:.3f} s")
-    print(f"path accuracy           : {accuracy.accuracy * 100:.2f} %")
+    if sampling is not None:
+        _print_sampling_report(session)
+    else:
+        accuracy = session.analyses["accuracy"]
+        print(f"path accuracy           : {accuracy.accuracy * 100:.2f} %")
     profile = session.analyses["profile"]
     print("latency percentages of the dominant pattern:")
     for label, value in sorted(profile.percentages.items()):
@@ -438,6 +535,10 @@ def _command_stream(args: argparse.Namespace) -> int:
         return _fail("--skew-bound must be non-negative")
     if args.shards < 0:
         return _fail("--shards must be non-negative")
+    try:
+        sampling = _sampling_from_args(args)
+    except ValueError as exc:
+        return _fail(str(exc))
 
     # -- source: a log file, or a freshly simulated run ----------------------
     if args.input:
@@ -483,13 +584,16 @@ def _command_stream(args: argparse.Namespace) -> int:
 
     # -- backend: incremental, or sharded parallel ---------------------------
     if args.shards > 0:
-        backend = BackendSpec.sharded(window=args.window, max_shards=args.shards)
+        backend = BackendSpec.sharded(
+            window=args.window, max_shards=args.shards, sampling=sampling
+        )
     else:
         backend = BackendSpec.streaming(
             window=args.window,
             horizon=args.horizon if args.horizon > 0 else None,
             skew_bound=args.skew_bound,
             chunk_size=args.chunk_size,
+            sampling=sampling,
         )
 
     # Classification (and the simulation, for run sources) happens inside
@@ -531,9 +635,11 @@ def _command_stream(args: argparse.Namespace) -> int:
     print(f"correlation throughput  : {rate / 1e3:.1f} kact/s")
     print(f"peak live entries       : {peak_pending}")
     print(f"state evictions         : {evictions}")
+    if sampling is not None:
+        print(f"requests sampled out    : {stats.sampled_out_roots}")
     if session.source.malformed_lines:
         print(f"malformed lines         : {session.source.malformed_lines}")
-    if session.source.ground_truth is not None:
+    if sampling is None and session.source.ground_truth is not None:
         report = session.accuracy()
         print(f"path accuracy           : {report.accuracy * 100:.2f} %")
     return 0
@@ -548,9 +654,13 @@ def _command_profile(args: argparse.Namespace, scale) -> int:
         load_bench_result,
         write_bench_result,
     )
-    from .experiments.figures import figure9, figure11_streaming
+    from .experiments.figures import figure9, figure11_streaming, figure_sampling
 
-    generators = {"fig9": figure9, "fig11s": figure11_streaming}
+    generators = {
+        "fig9": figure9,
+        "fig11s": figure11_streaming,
+        "sampling": figure_sampling,
+    }
     result = generators[args.figure](scale)
     print(render_table(result))
 

@@ -20,7 +20,7 @@ pattern classification and performance debugging all operate on CAGs.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .activity import Activity, ActivityType
@@ -61,6 +61,10 @@ class CAG:
     which (by construction of the ranker) is a valid topological order of
     the happened-before relation.
     """
+
+    #: Real CAGs are never sampled out; the engine checks this flag to
+    #: tell them apart from :class:`SampledOutCAG` tombstones.
+    sampled_out = False
 
     def __init__(self, root: Activity, cag_id: Optional[int] = None) -> None:
         if not isinstance(root, Activity):
@@ -435,6 +439,65 @@ class CAG:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "finished" if self.finished else "open"
         return f"CAG(id={self.cag_id}, vertices={len(self)}, {state})"
+
+
+class SampledOutCAG:
+    """Memory-light tombstone for the CAG of a sampled-out request.
+
+    When the :class:`~repro.sampling.RequestSampler` rejects a request at
+    its causal root, the engine still has to keep its index maps exactly
+    as the unsampled run would -- pending SENDs must enter the ``mmap``
+    (the ranker's noise and Rule-1 decisions consult it), context entries
+    must advance -- or the candidate stream itself would change and the
+    batch/streaming/sharded equivalence would be lost.  The tombstone
+    provides the slice of the CAG interface the engine touches while
+    storing only the member-vertex list (needed to release ``mmap`` /
+    owner / context-map state on completion or eviction): no edges, no
+    adjacency maps, and it is discarded -- never reported, never retained
+    -- the moment its END arrives or the eviction horizon passes it.
+    """
+
+    sampled_out = True
+
+    __slots__ = ("cag_id", "root", "_vertices", "finished", "newest_timestamp")
+
+    def __init__(self, root: Activity) -> None:
+        self.cag_id: int = next(_cag_counter)
+        self.root = root
+        self._vertices: List[Activity] = [root]
+        self.finished = False
+        self.newest_timestamp: float = root.timestamp
+
+    def append(self, activity: Activity, parent: Activity, kind: str) -> None:
+        """Record a member vertex (no edge is materialised)."""
+        self._vertices.append(activity)
+        if activity.timestamp > self.newest_timestamp:
+            self.newest_timestamp = activity.timestamp
+        return None
+
+    def add_edge(self, parent: Activity, child: Activity, kind: str) -> None:
+        """Edges of sampled-out requests are dropped."""
+        return None
+
+    def parents_of(self, activity: Activity) -> List[Edge]:
+        return []
+
+    def touch(self, timestamp: float) -> None:
+        if timestamp > self.newest_timestamp:
+            self.newest_timestamp = timestamp
+
+    def finish(self) -> None:
+        self.finished = True
+
+    @property
+    def vertices(self) -> Sequence[Activity]:
+        return tuple(self._vertices)
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SampledOutCAG(id={self.cag_id}, vertices={len(self)})"
 
 
 def iter_edges_in_causal_order(cag: CAG) -> Iterator[Edge]:

@@ -27,9 +27,8 @@ streaming path produces byte-identical CAGs to this one.
 from __future__ import annotations
 
 import gc
-import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from .activity import Activity
@@ -100,7 +99,13 @@ class Correlator:
     downstream analysis code never needs to know which path produced it.
     """
 
-    def __init__(self, window: float = 0.010, sample_interval: int = 256) -> None:
+    def __init__(
+        self,
+        window: float = 0.010,
+        sample_interval: int = 256,
+        sampling=None,
+        sampling_decisions=None,
+    ) -> None:
         """
         Parameters
         ----------
@@ -110,6 +115,17 @@ class Correlator:
             How often (in delivered candidates) the memory accounting
             samples the live-object counts.  Sampling keeps the overhead
             of bookkeeping negligible for large traces.
+        sampling:
+            Optional :class:`repro.sampling.SamplingSpec`: trace only a
+            deterministic subset of the requests, decided at each causal
+            root.  Sampled-out requests cost index-map bookkeeping but
+            build no CAG and surface nowhere in the result.
+        sampling_decisions:
+            Pre-frozen decision set (see
+            :func:`repro.sampling.precompute_decisions`); when absent and
+            the policy needs one (the per-second budget), the pre-pass
+            runs here.  The sharded driver passes shards a shared set so
+            every shard agrees with the whole-trace decision order.
         """
         if window <= 0:
             raise ValueError("window must be positive")
@@ -117,6 +133,18 @@ class Correlator:
             raise ValueError("sample_interval must be positive")
         self.window = window
         self.sample_interval = sample_interval
+        self.sampling = sampling
+        self.sampling_decisions = sampling_decisions
+
+    def _make_sampler(self, streams: Dict[str, Sequence[Activity]]):
+        if self.sampling is None:
+            return None
+        decisions = self.sampling_decisions
+        if decisions is None:
+            decisions = self.sampling.freeze(
+                a for stream in streams.values() for a in stream
+            )
+        return self.sampling.make_sampler(decisions)
 
     # -- public API --------------------------------------------------------
 
@@ -138,7 +166,7 @@ class Correlator:
         if total_activities is None:
             total_activities = sum(len(s) for s in streams.values())
 
-        engine = CorrelationEngine()
+        engine = CorrelationEngine(sampler=self._make_sampler(streams))
         ranker = Ranker(streams, mmap=engine.mmap, window=self.window)
 
         peak_buffered = 0

@@ -19,7 +19,7 @@ and describing them in terms of components and interactions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .cag import CAG

@@ -19,11 +19,11 @@ threads are recycled from a pool.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from .activity import Activity, ActivityType
-from .cag import CAG, CONTEXT_EDGE, MESSAGE_EDGE
+from .cag import CAG, CONTEXT_EDGE, MESSAGE_EDGE, SampledOutCAG
 from .index_maps import ContextMap, MessageMap
 
 
@@ -48,20 +48,43 @@ class EngineStats:
     thread_reuse_blocked: int = 0
     oversized_receives: int = 0
     finished_cags: int = 0
+    # Request-sampling counters (a sampler was configured).  Sampled-out
+    # requests are tracked as tombstones while in flight and discarded on
+    # completion; see :class:`repro.core.cag.SampledOutCAG`.
+    sampled_out_roots: int = 0
+    sampled_out_finished: int = 0
     # Watermark-based eviction counters (streaming mode only; the batch
     # path never evicts).  See :meth:`CorrelationEngine.evict_stale`.
     evicted_mmap_entries: int = 0
     evicted_cmap_entries: int = 0
     evicted_open_cags: int = 0
+    evicted_sampled_out_cags: int = 0
 
 
 class CorrelationEngine:
-    """Build CAGs from the candidate stream produced by the ranker."""
+    """Build CAGs from the candidate stream produced by the ranker.
 
-    def __init__(self) -> None:
+    ``sampler`` is an optional :class:`repro.sampling.RequestSampler`:
+    it is consulted once per causal root (BEGIN) and decides whether the
+    request is materialised as a full CAG or as a discarded-on-completion
+    :class:`~repro.core.cag.SampledOutCAG` tombstone.  Sampling never
+    changes what enters the index maps -- the ranker's candidate
+    selection consults the ``mmap``, so the candidate stream (and with
+    it cross-backend equivalence) is independent of the sampling
+    decisions; only which requests get edges, analysis and memory is.
+    """
+
+    def __init__(self, sampler=None) -> None:
         self.mmap = MessageMap()
         self.cmap = ContextMap()
         self.stats = EngineStats()
+        self.sampler = sampler
+        # Per-candidate adaptive feedback: only wired up when the
+        # sampler actually adapts, so the hot path pays one None check
+        # otherwise.
+        self._sampler_tick = (
+            sampler.tick if sampler is not None and sampler.is_adaptive else None
+        )
         self._finished: List[CAG] = []
         self._open: Dict[int, CAG] = {}
         # Map from a vertex (by identity) to the CAG that owns it.  Only
@@ -106,8 +129,19 @@ class CorrelationEngine:
 
     @property
     def open_cags(self) -> List[CAG]:
-        """CAGs still waiting for more activities (in-flight or deformed)."""
-        return list(self._open.values())
+        """CAGs still waiting for more activities (in-flight or deformed).
+
+        Sampled-out tombstones are engine state, not output: they count
+        toward :meth:`pending_state_size` (and the adaptive sampler's
+        open-CAG feedback) but are never reported as open or incomplete.
+        """
+        return [cag for cag in self._open.values() if not cag.sampled_out]
+
+    @property
+    def open_entry_count(self) -> int:
+        """Number of in-flight entries, tombstones included (the memory
+        figure the adaptive sampler steers against)."""
+        return len(self._open)
 
     @property
     def evicted_cags(self) -> List[CAG]:
@@ -131,6 +165,8 @@ class CorrelationEngine:
         END of a request, ``None`` otherwise.  This is the body of the
         ``while`` loop of Fig. 3.
         """
+        if self._sampler_tick is not None:
+            self._sampler_tick(len(self._open))
         handler = self._dispatch[current.priority]
         if handler is None:  # pragma: no cover - MAX is never instantiated
             return None
@@ -160,7 +196,17 @@ class CorrelationEngine:
                 owner.touch(current.timestamp)
                 return None
 
-        cag = CAG(root=current)
+        if self.sampler is not None and not self.sampler.admit(current):
+            # Sampled out at the causal root: open a tombstone instead of
+            # a CAG.  Index-map bookkeeping proceeds exactly as for a
+            # traced request (the ranker's decisions depend on it), but
+            # no edges are built and the tombstone is discarded -- and
+            # its cmap/mmap state purged -- when its END arrives or the
+            # eviction horizon passes it.
+            cag = SampledOutCAG(current)
+            self.stats.sampled_out_roots += 1
+        else:
+            cag = CAG(root=current)
         self._open[cag.cag_id] = cag
         self._owner[id(current)] = cag
         key = current.context_key
@@ -191,7 +237,7 @@ class CorrelationEngine:
         self._cmap_latest[key] = current
         self._cmap_recency[key] = current.timestamp
         self._finish(cag, current)
-        return cag
+        return None if cag.sampled_out else cag
 
     # -- SEND ----------------------------------------------------------------
 
@@ -380,13 +426,15 @@ class CorrelationEngine:
             # is O(open CAGs) instead of O(total buffered vertices).
             if cag.newest_timestamp < before:
                 self._open.pop(cag_id, None)
-                for vertex in cag.vertices:
-                    self._owner.pop(id(vertex), None)
-                    if vertex.type is ActivityType.SEND:
-                        self.mmap.remove(vertex)
-                        self._partial_receive.pop(id(vertex), None)
-                self._evicted.append(cag)
-                self.stats.evicted_open_cags += 1
+                self._release_vertices(cag)
+                if cag.sampled_out:
+                    # Evicted, not leaked: a tombstone is dropped outright
+                    # -- retaining it in ``_evicted`` would grow memory
+                    # with exactly the traffic sampling exists to shed.
+                    self.stats.evicted_sampled_out_cags += 1
+                else:
+                    self._evicted.append(cag)
+                    self.stats.evicted_open_cags += 1
                 evicted += 1
         return evicted
 
@@ -399,14 +447,40 @@ class CorrelationEngine:
 
     def _finish(self, cag: CAG, end_activity: Activity) -> None:
         cag.finish()
+        self._open.pop(cag.cag_id, None)
+        self._release_vertices(cag)
+        if cag.sampled_out:
+            # A sampled-out request completed: discard the tombstone --
+            # it is neither reported nor retained -- and count it.
+            self.stats.sampled_out_finished += 1
+            return
         self.stats.finished_cags += 1
         self._finished.append(cag)
-        self._open.pop(cag.cag_id, None)
+
+    def _release_vertices(self, cag: CAG) -> None:
+        """Release a closing CAG's per-vertex engine state.
+
+        For every member vertex the ownership entry goes, and any
+        still-pending SEND leaves the mmap (with its parked partial
+        RECEIVE) so stale entries cannot capture later traffic on a
+        reused connection -- and so memory stays bounded.  For
+        sampled-out tombstones the context map is purged too: an entry
+        whose latest activity belongs to a dropped request can only
+        reproduce state the sampler decided not to keep (the
+        thread-reuse guard would refuse the edge anyway, since the
+        owning tombstone is gone), so dropping it is behaviour-neutral
+        and releases the last reference to the dead request's
+        activities.  All backends run this identically, which keeps the
+        context maps -- and with them the reconstruction -- equivalent.
+        """
+        purge_cmap = cag.sampled_out
         for vertex in cag.vertices:
             self._owner.pop(id(vertex), None)
-            # Drop any still-pending SEND of this request from the mmap so
-            # stale entries cannot capture later traffic on a reused
-            # connection (and so memory stays bounded).
             if vertex.type is ActivityType.SEND:
                 self.mmap.remove(vertex)
                 self._partial_receive.pop(id(vertex), None)
+            if purge_cmap:
+                key = vertex.context_key
+                if self._cmap_latest.get(key) is vertex:
+                    del self._cmap_latest[key]
+                    self._cmap_recency.pop(key, None)

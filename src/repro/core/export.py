@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
-from .cag import CAG, CONTEXT_EDGE, MESSAGE_EDGE
+from .cag import CAG, CONTEXT_EDGE
 from .latency import breakdown_for_cag, segment_label
 from .tracer import TraceResult
 

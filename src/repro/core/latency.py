@@ -16,10 +16,9 @@ accepts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
-from .activity import Activity
-from .cag import CAG, CONTEXT_EDGE, Edge
+from .cag import CAG, Edge
 
 
 def component_label(program: str) -> str:

@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .activity import ActivityType
 from .cag import CAG
 from .latency import LatencyBreakdown, average_breakdown, average_duration
 

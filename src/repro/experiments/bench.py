@@ -28,13 +28,30 @@ Schema (one JSON object per file)::
 
 Timing fields inside ``rows`` keep whatever unit the figure generator
 used (seconds for correlation times, entry counts for memory).
+
+As a perf-regression gate
+-------------------------
+
+:func:`compare_to_baseline` turns two documents into a machine-readable
+verdict, and the module doubles as a command-line entry point for CI::
+
+    python -m repro.experiments.bench compare \
+        --baseline benchmarks/baselines/BENCH_fig9_baseline.json \
+        --current bench_results/BENCH_fig9.json --tolerance 0.25
+
+Exit status 1 means the current aggregate regressed beyond the
+tolerance; a missing baseline file is reported but never fails the gate
+(a fresh clone must be able to run CI before its first baseline is
+committed).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import platform
+import sys
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -139,3 +156,168 @@ def compare_timing_rows(
             }
         )
     return comparison
+
+
+def compare_to_baseline(
+    baseline: object,
+    current: object,
+    key_column: str = "clients",
+    value_column: str = "correlation_time_s",
+    tolerance: float = 0.25,
+) -> Dict[str, object]:
+    """Machine-readable perf verdict of ``current`` against ``baseline``.
+
+    ``baseline`` / ``current`` are BENCH documents (dicts with ``rows``),
+    bare row lists, or paths to BENCH files.  The verdict is computed on
+    the *aggregate* of ``value_column`` over the sweep points both
+    documents share -- per-point times on small scales are noisy, but
+    their sum tracks real slowdowns -- and tolerates imperfect inputs
+    instead of crashing a CI job:
+
+    * a ``baseline`` path that does not exist -> ``"missing-baseline"``
+      (``regressed`` stays False: a repo without a committed baseline
+      must still pass its gate);
+    * sweep points present on one side only are skipped and listed in
+      ``skipped_keys``;
+    * zero/negative-time rows (a figure generator that did not measure,
+      or clock quantisation on a trivial point) are skipped and listed
+      too -- a 0-second baseline point would otherwise turn any real
+      time into an infinite regression.
+
+    Returns a JSON-ready dict::
+
+        {"status": "pass" | "regression" | "missing-baseline" | "no-overlap",
+         "regressed": bool, "tolerance": 0.25,
+         "aggregate_baseline": ..., "aggregate_current": ...,
+         "aggregate_ratio": ...,  # current / baseline, > 1 means slower
+         "points": [{"key", "baseline", "current", "ratio"} ...],
+         "skipped_keys": [...], "reason": "..."}
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+
+    def resolve(document: object, side: str):
+        if isinstance(document, (str, os.PathLike)):
+            if not os.path.exists(document):
+                return None, f"{side} file not found: {document}"
+            document = load_bench_result(os.fspath(document))
+        if isinstance(document, dict):
+            document = document.get("rows", [])
+        return list(document), None
+
+    verdict: Dict[str, object] = {
+        "status": "pass",
+        "regressed": False,
+        "tolerance": tolerance,
+        "key_column": key_column,
+        "value_column": value_column,
+        "points": [],
+        "skipped_keys": [],
+        "reason": "",
+    }
+
+    baseline_rows, missing = resolve(baseline, "baseline")
+    if missing:
+        verdict["status"] = "missing-baseline"
+        verdict["reason"] = missing
+        return verdict
+    current_rows, missing = resolve(current, "current")
+    if missing:
+        # No current measurement is a broken benchmark run, not a pass.
+        verdict["status"] = "no-overlap"
+        verdict["regressed"] = True
+        verdict["reason"] = missing
+        return verdict
+
+    baseline_by_key = {row.get(key_column): row for row in baseline_rows}
+    skipped: List[object] = []
+    points: List[Dict[str, float]] = []
+    for row in current_rows:
+        key = row.get(key_column)
+        base = baseline_by_key.get(key)
+        if base is None or value_column not in row or value_column not in base:
+            skipped.append(key)
+            continue
+        old = float(base[value_column])
+        new = float(row[value_column])
+        if old <= 0.0 or new < 0.0:
+            skipped.append(key)
+            continue
+        points.append(
+            {"key": key, "baseline": old, "current": new, "ratio": new / old}
+        )
+    for key in baseline_by_key:
+        if all(point["key"] != key for point in points) and key not in skipped:
+            skipped.append(key)
+
+    verdict["points"] = points
+    verdict["skipped_keys"] = skipped
+    if not points:
+        verdict["status"] = "no-overlap"
+        verdict["regressed"] = True
+        verdict["reason"] = (
+            "no comparable sweep points between baseline and current rows"
+        )
+        return verdict
+
+    aggregate_baseline = sum(point["baseline"] for point in points)
+    aggregate_current = sum(point["current"] for point in points)
+    ratio = aggregate_current / aggregate_baseline
+    verdict["aggregate_baseline"] = aggregate_baseline
+    verdict["aggregate_current"] = aggregate_current
+    verdict["aggregate_ratio"] = ratio
+    if ratio > 1.0 + tolerance:
+        verdict["status"] = "regression"
+        verdict["regressed"] = True
+        verdict["reason"] = (
+            f"aggregate {value_column} regressed {ratio:.2f}x vs baseline "
+            f"(tolerance {1.0 + tolerance:.2f}x)"
+        )
+    else:
+        verdict["reason"] = (
+            f"aggregate {value_column} at {ratio:.2f}x of baseline "
+            f"(tolerance {1.0 + tolerance:.2f}x)"
+        )
+    return verdict
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.experiments.bench`` -- the CI perf gate.
+
+    ``compare`` prints the :func:`compare_to_baseline` verdict as JSON
+    and exits 1 iff the verdict says ``regressed`` -- which a CI step
+    can use directly as a pass/fail gate.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.bench",
+        description="compare BENCH_*.json perf documents",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    compare = subparsers.add_parser(
+        "compare", help="verdict of a current BENCH file vs a baseline"
+    )
+    compare.add_argument("--baseline", required=True, help="baseline BENCH_*.json")
+    compare.add_argument("--current", required=True, help="current BENCH_*.json")
+    compare.add_argument("--key-column", default="clients")
+    compare.add_argument("--value-column", default="correlation_time_s")
+    compare.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed aggregate slowdown fraction (default 0.25 = +25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    verdict = compare_to_baseline(
+        args.baseline,
+        args.current,
+        key_column=args.key_column,
+        value_column=args.value_column,
+        tolerance=args.tolerance,
+    )
+    print(json.dumps(verdict, indent=2, sort_keys=True))
+    return 1 if verdict["regressed"] else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

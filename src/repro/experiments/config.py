@@ -18,8 +18,8 @@ explicitly.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from ..services.rubis.client import WorkloadStages
 
@@ -61,6 +61,10 @@ class ExperimentScale:
     accuracy_workloads: Tuple[str, ...] = ("browse_only", "default")
     #: client counts for the baseline comparison
     baseline_clients: Tuple[int, ...] = (100, 400)
+    #: sampling rates for the overhead-control figure (1.0 = trace all)
+    sampling_rates: Tuple[float, ...] = (1.0, 0.5, 0.25, 0.1)
+    #: scenario-library scenarios swept by the overhead-control figure
+    sampling_scenarios: Tuple[str, ...] = ("rubis", "fanout_aggregator", "cache_aside")
 
     @property
     def max_threads_values(self) -> Tuple[int, ...]:
@@ -84,6 +88,14 @@ FULL = ExperimentScale(
     accuracy_clients=(100, 400, 800),
     accuracy_windows=(0.001, 0.010, 0.1, 1.0, 10.0),
     accuracy_skews=(0.001, 0.050, 0.100, 0.500),
+    sampling_rates=(1.0, 0.75, 0.5, 0.25, 0.1, 0.05),
+    sampling_scenarios=(
+        "rubis",
+        "five_tier_chain",
+        "fanout_aggregator",
+        "cache_aside",
+        "replicated_lb",
+    ),
 )
 
 SCALES = {scale.name: scale for scale in (SMALL, FULL)}

@@ -7,7 +7,7 @@ combined report used by ``python -m repro.cli report``.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Sequence
 
 from .figures import FigureResult
 

@@ -17,7 +17,7 @@ semantics detail lives in the backend spec now.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, Optional
 
 from ..core.tracer import TraceResult
 from ..pipeline import BackendSpec

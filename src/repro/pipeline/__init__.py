@@ -31,6 +31,7 @@ Entry points
     across backends, checkable (and goldenly pinnable) on any source.
 """
 
+from ..sampling import SamplingAccuracy, SamplingSpec
 from .backends import BACKEND_KINDS, BackendSpec, default_backends
 from .equivalence import (
     BackendOutcome,
@@ -52,6 +53,7 @@ from .stages import (
     PatternStage,
     ProfileStage,
     RankedLatencyStage,
+    SamplingAccuracyStage,
     default_stages,
 )
 
@@ -74,6 +76,9 @@ __all__ = [
     "ProfileStage",
     "RankedLatencyStage",
     "RunSource",
+    "SamplingAccuracy",
+    "SamplingAccuracyStage",
+    "SamplingSpec",
     "Sink",
     "Source",
     "SummaryJsonSink",

@@ -33,6 +33,7 @@ from ..core.activity import Activity
 from ..core.cag import CAG
 from ..core.correlator import CorrelationResult, Correlator
 from ..core.tracer import TraceResult
+from ..sampling import SamplingSpec
 from ..stream import ShardedCorrelator, StreamingCorrelator
 from ..stream.sharded import EXECUTOR_KINDS
 
@@ -65,6 +66,13 @@ class BackendSpec:
     #: sharded: ``"thread"`` (GIL-bounded, zero copy) or ``"process"``
     #: (true parallelism, shards pickled across the boundary)
     executor: str = "thread"
+    #: request sampling policy (``None`` = trace every request).  The
+    #: decision is made at each causal root by deterministic hashing, so
+    #: every backend kind samples the identical request subset and
+    #: :func:`~repro.pipeline.verify_equivalence` applies to sampled
+    #: runs unchanged.  The ``adaptive`` policy needs one sequential
+    #: engine and is rejected on the sharded backend.
+    sampling: Optional[SamplingSpec] = None
 
     def __post_init__(self) -> None:
         if self.kind not in BACKEND_KINDS:
@@ -85,12 +93,26 @@ class BackendSpec:
                 f"unknown executor {self.executor!r}; valid executors: "
                 f"{', '.join(EXECUTOR_KINDS)}"
             )
+        if self.sampling is not None:
+            if not isinstance(self.sampling, SamplingSpec):
+                raise ValueError(
+                    "sampling must be a repro.sampling.SamplingSpec "
+                    f"(got {type(self.sampling).__name__})"
+                )
+            if self.sampling.kind == "adaptive" and self.kind == "sharded":
+                raise ValueError(
+                    "adaptive sampling feeds back from one sequential "
+                    "engine's state; use the batch or streaming backend "
+                    "(or a fixed-rate policy) with sharded correlation"
+                )
 
     # -- constructors --------------------------------------------------------
 
     @classmethod
-    def batch(cls, window: float = 0.010) -> "BackendSpec":
-        return cls(kind="batch", window=window)
+    def batch(
+        cls, window: float = 0.010, sampling: Optional[SamplingSpec] = None
+    ) -> "BackendSpec":
+        return cls(kind="batch", window=window, sampling=sampling)
 
     @classmethod
     def streaming(
@@ -99,6 +121,7 @@ class BackendSpec:
         horizon: Optional[float] = None,
         skew_bound: float = 0.005,
         chunk_size: int = 256,
+        sampling: Optional[SamplingSpec] = None,
     ) -> "BackendSpec":
         return cls(
             kind="streaming",
@@ -106,6 +129,7 @@ class BackendSpec:
             horizon=horizon,
             skew_bound=skew_bound,
             chunk_size=chunk_size,
+            sampling=sampling,
         )
 
     @classmethod
@@ -115,6 +139,7 @@ class BackendSpec:
         max_shards: Optional[int] = None,
         max_workers: Optional[int] = None,
         executor: str = "thread",
+        sampling: Optional[SamplingSpec] = None,
     ) -> "BackendSpec":
         return cls(
             kind="sharded",
@@ -122,6 +147,7 @@ class BackendSpec:
             max_shards=max_shards,
             max_workers=max_workers,
             executor=executor,
+            sampling=sampling,
         )
 
     def with_overrides(self, **kwargs) -> "BackendSpec":
@@ -133,19 +159,21 @@ class BackendSpec:
     def make_correlator(self):
         """Instantiate the configured driver."""
         if self.kind == "batch":
-            return Correlator(window=self.window)
+            return Correlator(window=self.window, sampling=self.sampling)
         if self.kind == "streaming":
             return StreamingCorrelator(
                 window=self.window,
                 horizon=self.horizon,
                 skew_bound=self.skew_bound,
                 chunk_size=self.chunk_size,
+                sampling=self.sampling,
             )
         return ShardedCorrelator(
             window=self.window,
             max_workers=self.max_workers,
             max_shards=self.max_shards,
             executor=self.executor,
+            sampling=self.sampling,
         )
 
     def correlate(
@@ -196,14 +224,21 @@ class BackendSpec:
             if self.max_workers is not None:
                 parts.append(f"max_workers={self.max_workers}")
             parts.append(f"executor={self.executor}")
+        if self.sampling is not None:
+            parts.append(f"sampling={self.sampling.describe()}")
         return f"{self.kind} ({', '.join(parts)})"
 
 
-def default_backends(window: float = 0.010, **streaming_knobs) -> List[BackendSpec]:
+def default_backends(
+    window: float = 0.010,
+    sampling: Optional[SamplingSpec] = None,
+    **streaming_knobs,
+) -> List[BackendSpec]:
     """One spec per backend kind at a shared window -- the equivalence
-    matrix's default axis."""
+    matrix's default axis.  ``sampling`` applies the same sampling policy
+    to every backend, extending the matrix to sampled runs."""
     return [
-        BackendSpec.batch(window=window),
-        BackendSpec.streaming(window=window, **streaming_knobs),
-        BackendSpec.sharded(window=window),
+        BackendSpec.batch(window=window, sampling=sampling),
+        BackendSpec.streaming(window=window, sampling=sampling, **streaming_knobs),
+        BackendSpec.sharded(window=window, sampling=sampling),
     ]

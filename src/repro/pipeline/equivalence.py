@@ -164,6 +164,7 @@ def verify_equivalence(
     backends: Optional[Sequence[BackendSpec]] = None,
     window: float = 0.010,
     skew_bound: float = 0.005,
+    sampling=None,
 ) -> EquivalenceReport:
     """Run one source through several backends and compare the results.
 
@@ -172,6 +173,10 @@ def verify_equivalence(
     mutates byte counters in place).  ``backends`` defaults to one spec
     per kind -- batch, streaming (eviction disabled, so equivalence is
     exact by construction), sharded -- at the shared ``window``.
+    ``sampling`` (a :class:`~repro.sampling.SamplingSpec`) extends the
+    default matrix to sampled runs: the sampler decides at the causal
+    root by deterministic hashing, so every backend admits the identical
+    request subset and the digests still match.
 
     Returns the report; chain ``.require()`` to use it as a hard gate::
 
@@ -179,7 +184,9 @@ def verify_equivalence(
     """
     resolved: Source = as_source(source)
     if backends is None:
-        backends = default_backends(window=window, skew_bound=skew_bound)
+        backends = default_backends(
+            window=window, skew_bound=skew_bound, sampling=sampling
+        )
     report = EquivalenceReport(source=resolved.describe())
     for spec in backends:
         result = spec.correlate(resolved.activities())

@@ -19,6 +19,9 @@ The built-in stages cover the paper's analysis repertoire:
                          (Section 5.2; needs a simulation source)
 :class:`DiagnosisStage`  latency-percentage comparison against a
                          reference profile (Section 5.4 fault diagnosis)
+:class:`SamplingAccuracyStage`  fidelity of a *sampled* run's ranked
+                         latency report against the full (unsampled)
+                         report on the same source
 =======================  ==================================================
 
 Custom stages are plain objects: anything with ``name`` and
@@ -33,6 +36,7 @@ from ..core.accuracy import AccuracyReport
 from ..core.debugging import Diagnosis, LatencyProfile, diagnose
 from ..core.latency import LatencyBreakdown
 from ..core.patterns import PathPattern
+from ..sampling import SamplingAccuracy, compare_sampled_reports
 
 
 class AnalysisStage:
@@ -176,6 +180,30 @@ class DiagnosisStage(AnalysisStage):
         return diagnose(
             self._reference_profile(), observed, threshold=self.threshold
         )
+
+
+class SamplingAccuracyStage(AnalysisStage):
+    """How faithful is this sampled trace's report to the full one?
+
+    Re-correlates the session's own source through the same backend with
+    sampling disabled (the reference run) and scores the session's
+    ranked latency report against it: pattern coverage and the
+    dominant-profile drift -- see
+    :func:`repro.sampling.compare_sampled_reports`.
+
+    The stage deliberately pays for one full correlation pass; it is an
+    evaluation tool (the ``sampling`` figure is built on it), not
+    something to leave in a production pipeline.  On a session whose
+    backend has no sampling configured it degenerates to comparing a
+    report against itself (coverage 1.0, distance 0.0).
+    """
+
+    name = "sampling_accuracy"
+
+    def run(self, session) -> SamplingAccuracy:
+        reference_backend = session.backend.with_overrides(sampling=None)
+        full = reference_backend.correlate(session.source.activities())
+        return compare_sampled_reports(full.cags, session.trace.cags)
 
 
 #: The default stage set: pattern mining plus the ranked latency report.

@@ -1,0 +1,64 @@
+"""Request sampling: trade tracing coverage for overhead, deterministically.
+
+PreciseTracer's pitch is that black-box tracing is *precise*: every
+reconstructed path is a real request, exactly.  That precision is what
+makes per-request sampling meaningful -- a deterministic subset of the
+requests can be traced exactly, instead of all of them approximately --
+and sampling is what makes continuous tracing deployable under heavy
+production traffic: the analysis cost must be allowed to trail the
+offered load.
+
+This package holds the sampling layer shared by every correlation
+backend:
+
+:class:`SamplingSpec`
+    Frozen value object naming a policy and its knobs -- a uniform
+    head-based rate, a fixed per-second budget, or an adaptive feedback
+    loop targeting an open-CAG budget.  Carried by
+    :class:`repro.pipeline.BackendSpec` (``sampling=...``) and the CLI
+    (``--sample-rate`` / ``--sample-budget``).
+:class:`RequestSampler`
+    The per-engine decision object built from a spec.  Decisions are
+    made once per request, at the causal root (the BEGIN activity), by
+    deterministic hashing of the root's identity -- so batch, streaming
+    and sharded backends sample the **identical** request subset and
+    :func:`repro.pipeline.verify_equivalence` extends to sampled runs
+    unchanged.
+:class:`AdaptiveController`
+    The feedback loop of the adaptive policy: observes the engine's
+    open-CAG count at a fixed candidate cadence and multiplicatively
+    steers the admission rate toward the configured budget.
+:func:`precompute_decisions`
+    One cheap pre-pass identifying the causal roots of a trace and
+    freezing the budget policy's decisions, so the per-second budget is
+    a property of the *trace*, not of any backend's processing order.
+:func:`compare_sampled_reports`
+    Accuracy of a sampled ranked latency report against the full one
+    (pattern coverage, latency-percentage drift) -- the measurement
+    behind :class:`repro.pipeline.SamplingAccuracyStage` and the
+    ``sampling`` figure.
+"""
+
+from .accuracy import SamplingAccuracy, compare_sampled_reports
+from .sampler import (
+    FrozenDecisions,
+    RequestSampler,
+    SamplerStats,
+    precompute_decisions,
+    root_key,
+    root_position,
+)
+from .spec import AdaptiveController, SamplingSpec
+
+__all__ = [
+    "AdaptiveController",
+    "FrozenDecisions",
+    "RequestSampler",
+    "SamplerStats",
+    "SamplingAccuracy",
+    "SamplingSpec",
+    "compare_sampled_reports",
+    "precompute_decisions",
+    "root_key",
+    "root_position",
+]

@@ -1,0 +1,134 @@
+"""How faithful is a sampled trace's analysis to the full trace's?
+
+Sampling trades coverage for overhead; this module measures what the
+trade costs *analytically*.  The paper's headline artefact is the ranked
+latency report -- per-pattern latency percentages, most frequent pattern
+first -- so sampled fidelity is defined against it:
+
+* **pattern coverage**: the fraction of the full run's requests whose
+  path pattern also appears in the sampled report.  Rare patterns are
+  the first casualties of sampling; coverage quantifies exactly that.
+* **dominant-profile distance**: mean absolute difference, in
+  percentage points, between the latency-percentage profiles of the
+  *dominant* pattern of the full run and the same pattern's profile in
+  the sampled run.  This is the number a diagnosis workflow (Fig. 17)
+  actually consumes, so its drift is the operative accuracy metric.
+
+Every sampled-in CAG is byte-identical to its full-run counterpart (the
+sampler only selects, never approximates), so all drift comes from the
+statistics of the subset -- which is what makes the metrics meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass
+class SamplingAccuracy:
+    """Fidelity of a sampled run's report against the full run's."""
+
+    full_requests: int
+    sampled_requests: int
+    #: full-run requests whose pattern survived into the sampled report
+    covered_requests: int
+    #: patterns in the full report / patterns also present when sampled
+    full_patterns: int
+    sampled_patterns: int
+    #: mean |sampled - full| over the dominant pattern's latency
+    #: percentages, in percentage points (0.0 = indistinguishable;
+    #: ``None`` when the dominant pattern was sampled out entirely)
+    dominant_profile_distance: Optional[float]
+    #: worst single-segment drift of the dominant profile, in points
+    dominant_profile_max_error: Optional[float] = None
+    per_pattern: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def sample_fraction(self) -> float:
+        """Realised sampling fraction (requests kept / requests seen)."""
+        if self.full_requests == 0:
+            return 1.0
+        return self.sampled_requests / self.full_requests
+
+    @property
+    def pattern_coverage(self) -> float:
+        """Request-weighted fraction of the full report still covered."""
+        if self.full_requests == 0:
+            return 1.0
+        return self.covered_requests / self.full_requests
+
+    def summary(self) -> Dict[str, float]:
+        """Compact numeric summary (reports, benchmarks, ``--json``)."""
+        return {
+            "full_requests": float(self.full_requests),
+            "sampled_requests": float(self.sampled_requests),
+            "sample_fraction": self.sample_fraction,
+            "pattern_coverage": self.pattern_coverage,
+            "dominant_profile_distance": (
+                -1.0
+                if self.dominant_profile_distance is None
+                else self.dominant_profile_distance
+            ),
+        }
+
+
+def _profiles(cags: Iterable) -> List[Tuple[object, int, Dict[str, float]]]:
+    """(signature, request count, latency percentages) per pattern, most
+    frequent first -- the rows of the ranked latency report."""
+    # Imported lazily: repro.sampling must stay import-light so the core
+    # drivers can depend on it without cycles.
+    from ..core.patterns import PatternClassifier
+
+    classifier = PatternClassifier()
+    classifier.add_all(list(cags))
+    return [
+        (pattern.signature, pattern.count, pattern.average_path().percentages())
+        for pattern in classifier.patterns
+    ]
+
+
+def compare_sampled_reports(full_cags, sampled_cags) -> SamplingAccuracy:
+    """Score a sampled run's ranked latency report against the full one."""
+    full = _profiles(full_cags)
+    sampled = _profiles(sampled_cags)
+    sampled_by_signature = {signature: row for signature, *row in sampled}
+
+    covered = 0
+    per_pattern: List[Dict[str, object]] = []
+    for signature, count, percentages in full:
+        hit = sampled_by_signature.get(signature)
+        if hit is not None:
+            covered += count
+        per_pattern.append(
+            {
+                "full_paths": count,
+                "sampled_paths": hit[0] if hit is not None else 0,
+                "covered": hit is not None,
+            }
+        )
+
+    distance = max_error = None
+    if full:
+        dominant_signature, _count, dominant_profile = full[0]
+        hit = sampled_by_signature.get(dominant_signature)
+        if hit is not None:
+            sampled_profile = hit[1]
+            labels = set(dominant_profile) | set(sampled_profile)
+            errors = [
+                abs(sampled_profile.get(label, 0.0) - dominant_profile.get(label, 0.0))
+                for label in labels
+            ]
+            distance = sum(errors) / len(errors) if errors else 0.0
+            max_error = max(errors) if errors else 0.0
+
+    return SamplingAccuracy(
+        full_requests=sum(count for _sig, count, _pct in full),
+        sampled_requests=sum(count for _sig, count, _pct in sampled),
+        covered_requests=covered,
+        full_patterns=len(full),
+        sampled_patterns=len(sampled),
+        dominant_profile_distance=distance,
+        dominant_profile_max_error=max_error,
+        per_pattern=per_pattern,
+    )

@@ -16,7 +16,7 @@ the paper's abnormal cases:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..sim.network import NetworkFabric

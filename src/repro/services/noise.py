@@ -16,8 +16,8 @@ Two kinds of noise coexist with the traced service on its nodes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Generator, List, Optional
+from dataclasses import dataclass
+from typing import Generator, Optional
 
 from ..sim.kernel import Environment, Event
 from ..sim.network import Network

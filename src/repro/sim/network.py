@@ -14,7 +14,7 @@ what makes the MaxThreads misconfiguration of Section 5.4 visible).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from .kernel import Environment, Event, Store

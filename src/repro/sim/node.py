@@ -15,7 +15,7 @@ kernel-level context identifier exposes.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, List, Optional
 
 from ..core.activity import ContextId

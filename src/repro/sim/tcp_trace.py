@@ -26,9 +26,8 @@ enable/disable comparison of Fig. 12 and Fig. 13 measures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import List, Optional
 
-from ..core.activity import Activity, ActivityType
 from ..core.log_format import RawRecord, format_record
 from .node import ExecutionEntity, Node
 

@@ -73,6 +73,19 @@ class IncrementalEngine:
     sample_interval:
         How often (in delivered candidates) the live-object counts are
         sampled for the memory accounting, as in the batch correlator.
+    sampling:
+        Optional :class:`repro.sampling.SamplingSpec`: trace only a
+        deterministic subset of the requests.  This is where the
+        *adaptive* policy lives naturally -- its controller observes the
+        engine's open-CAG count (tombstones included) and steers the
+        admission rate toward the configured budget, which is the
+        overhead-control loop a live deployment runs.
+    sampling_decisions:
+        Pre-frozen decision set for the budget policy.  The push
+        interface has no whole-trace pre-pass, so without one the
+        budget is applied in arrival order -- exact when the stream is
+        fed in global timestamp order (as :class:`StreamingCorrelator`
+        feeds it).
     """
 
     def __init__(
@@ -81,6 +94,8 @@ class IncrementalEngine:
         horizon: Optional[float] = None,
         skew_bound: float = 0.005,
         sample_interval: int = 256,
+        sampling=None,
+        sampling_decisions=None,
     ) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
@@ -90,7 +105,11 @@ class IncrementalEngine:
             raise ValueError("sample_interval must be positive")
         self.window = window
         self.horizon = horizon
-        self.engine = CorrelationEngine()
+        self.sampling = sampling
+        self.sampler = (
+            sampling.make_sampler(sampling_decisions) if sampling is not None else None
+        )
+        self.engine = CorrelationEngine(sampler=self.sampler)
         self.ranker = StreamingRanker(
             mmap=self.engine.mmap, window=window, skew_bound=skew_bound
         )
@@ -242,6 +261,7 @@ class StreamingCorrelator:
         skew_bound: float = 0.005,
         chunk_size: int = 256,
         sample_interval: int = 256,
+        sampling=None,
     ) -> None:
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
@@ -250,19 +270,31 @@ class StreamingCorrelator:
         self.skew_bound = skew_bound
         self.chunk_size = chunk_size
         self.sample_interval = sample_interval
+        self.sampling = sampling
 
-    def make_engine(self) -> IncrementalEngine:
+    def make_engine(self, sampling_decisions=None) -> IncrementalEngine:
         return IncrementalEngine(
             window=self.window,
             horizon=self.horizon,
             skew_bound=self.skew_bound,
             sample_interval=self.sample_interval,
+            sampling=self.sampling,
+            sampling_decisions=sampling_decisions,
         )
+
+    def _decisions_for(self, ordered: Sequence[Activity]):
+        """Freeze the budget policy's decisions from the whole trace --
+        the same pre-pass the batch and sharded drivers run, so the
+        admitted subset is backend-independent."""
+        if self.sampling is None:
+            return None
+        return self.sampling.freeze(ordered)
 
     def correlate(self, activities: Iterable[Activity]) -> CorrelationResult:
         """Correlate a (finite) activity collection incrementally."""
-        engine = self.make_engine()
-        for _cag in self.correlate_iter(activities, engine=engine):
+        ordered = self._arrival_order(activities)
+        engine = self.make_engine(self._decisions_for(ordered))
+        for _cag in self.correlate_iter(ordered, engine=engine):
             pass
         return engine.result()
 
@@ -275,8 +307,9 @@ class StreamingCorrelator:
 
         Pass your own ``engine`` to read ``engine.result()`` afterwards.
         """
-        engine = engine or self.make_engine()
         ordered = self._arrival_order(activities)
+        if engine is None:
+            engine = self.make_engine(self._decisions_for(ordered))
         for start in range(0, len(ordered), self.chunk_size):
             chunk = ordered[start : start + self.chunk_size]
             yield from engine.ingest(chunk)

@@ -181,9 +181,22 @@ def merge_results(
     )
 
 
-def _correlate_shard(window: float, shard: Sequence[Activity]) -> CorrelationResult:
-    """Correlate one shard (module-level so process pools can pickle it)."""
-    return Correlator(window=window).correlate(shard)
+def _correlate_shard(
+    window: float,
+    sampling,
+    decisions,
+    shard: Sequence[Activity],
+) -> CorrelationResult:
+    """Correlate one shard (module-level so process pools can pickle it).
+
+    ``sampling`` / ``decisions`` carry the request-sampling policy and
+    its whole-trace frozen decision set: the spec is a frozen dataclass
+    and the decisions a frozenset of key tuples, so both cross the
+    pickle boundary to process-pool workers unchanged.
+    """
+    return Correlator(
+        window=window, sampling=sampling, sampling_decisions=decisions
+    ).correlate(shard)
 
 
 #: Executor kinds accepted by :class:`ShardedCorrelator`.
@@ -210,6 +223,14 @@ class ShardedCorrelator:
         zero serialisation cost, GIL-bounded; ``"process"`` ships shards
         to worker processes for true CPU parallelism (shards and results
         cross a pickle boundary, so it pays off on large traces).
+    sampling:
+        Optional :class:`repro.sampling.SamplingSpec`.  The hash and
+        budget policies sample the identical request subset the batch
+        and streaming drivers do (budget decisions are frozen over the
+        whole trace *before* partitioning, then shared with every
+        shard).  The adaptive policy is rejected: its feedback loop
+        observes one sequential engine's state, which a shard-parallel
+        run does not have.
     """
 
     def __init__(
@@ -218,6 +239,7 @@ class ShardedCorrelator:
         max_workers: Optional[int] = None,
         max_shards: Optional[int] = None,
         executor: str = "thread",
+        sampling=None,
     ) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
@@ -226,10 +248,17 @@ class ShardedCorrelator:
                 f"unknown executor {executor!r}; valid executors: "
                 f"{', '.join(EXECUTOR_KINDS)}"
             )
+        if sampling is not None and sampling.kind == "adaptive":
+            raise ValueError(
+                "adaptive sampling feeds back from one sequential engine's "
+                "state; use the batch or streaming driver (or a fixed-rate "
+                "policy) with sharded correlation"
+            )
         self.window = window
         self.max_workers = max_workers
         self.max_shards = max_shards
         self.executor = executor
+        self.sampling = sampling
         #: shard sizes of the last ``correlate`` call (for reporting)
         self.last_shard_sizes: List[int] = []
 
@@ -237,12 +266,17 @@ class ShardedCorrelator:
         """Correlate a flat activity collection shard-parallel."""
         ordered = list(activities)
         start = time.perf_counter()
+        # Budget decisions depend on whole-trace root order, which no
+        # single shard can see: freeze them before partitioning.
+        decisions = (
+            self.sampling.freeze(ordered) if self.sampling is not None else None
+        )
         shards = partition_activities(ordered, max_shards=self.max_shards)
         self.last_shard_sizes = [len(shard) for shard in shards]
         if not shards:
             return Correlator(window=self.window).correlate([])
         if len(shards) == 1:
-            part = Correlator(window=self.window).correlate(shards[0])
+            part = _correlate_shard(self.window, self.sampling, decisions, shards[0])
             elapsed = time.perf_counter() - start
             return merge_results(
                 [part], self.window, elapsed, len(ordered),
@@ -251,9 +285,16 @@ class ShardedCorrelator:
         pool_cls = (
             ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
         )
+        count = len(shards)
         with pool_cls(max_workers=self.max_workers) as pool:
             parts = list(
-                pool.map(_correlate_shard, [self.window] * len(shards), shards)
+                pool.map(
+                    _correlate_shard,
+                    [self.window] * count,
+                    [self.sampling] * count,
+                    [decisions] * count,
+                    shards,
+                )
             )
         elapsed = time.perf_counter() - start
         return merge_results(

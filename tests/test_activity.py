@@ -1,7 +1,5 @@
 """Unit tests for the activity model (types, identifiers, ordering)."""
 
-import pytest
-
 from repro.core.activity import (
     Activity,
     ActivityType,

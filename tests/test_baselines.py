@@ -1,7 +1,5 @@
 """Tests for the probabilistic baselines and their comparison with PreciseTracer."""
 
-import pytest
-
 from helpers import SyntheticTrace
 from repro.baselines.project5 import nesting_algorithm
 from repro.baselines.wap5 import Wap5Config, Wap5Tracer

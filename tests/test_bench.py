@@ -1,11 +1,13 @@
-"""Tests for the benchmark-results writer (the perf trajectory)."""
+"""Tests for the benchmark-results writer and the CI perf-regression gate."""
 
 import json
 
 from repro.experiments.bench import (
     bench_dir,
     compare_timing_rows,
+    compare_to_baseline,
     load_bench_result,
+    main,
     write_bench_result,
 )
 from repro.experiments.figures import FigureResult
@@ -82,3 +84,135 @@ class TestCompareTimingRows:
         by_key = {row["key"]: row for row in rows}
         assert by_key[100.0]["speedup"] == 2.0
         assert abs(by_key[300.0]["speedup"] - 3.0) < 1e-9
+
+
+def rows(*times, key="clients", value="correlation_time_s"):
+    return [{key: 100 * (i + 1), value: t} for i, t in enumerate(times)]
+
+
+class TestCompareToBaseline:
+    def test_regression_beyond_tolerance_fails(self):
+        verdict = compare_to_baseline(rows(0.10, 0.30), rows(0.20, 0.40))
+        assert verdict["status"] == "regression"
+        assert verdict["regressed"] is True
+        assert abs(verdict["aggregate_ratio"] - 1.5) < 1e-9
+        assert "regressed" in verdict["reason"]
+
+    def test_improvement_and_small_noise_pass(self):
+        improved = compare_to_baseline(rows(0.10, 0.30), rows(0.05, 0.10))
+        assert improved["status"] == "pass"
+        assert improved["regressed"] is False
+        assert improved["aggregate_ratio"] < 1.0
+        noisy = compare_to_baseline(rows(0.10, 0.30), rows(0.12, 0.34))
+        assert noisy["status"] == "pass"  # +15% aggregate, inside +25%
+
+    def test_missing_baseline_file_passes_with_status(self, tmp_path):
+        verdict = compare_to_baseline(
+            str(tmp_path / "nope.json"), rows(0.10, 0.30)
+        )
+        assert verdict["status"] == "missing-baseline"
+        assert verdict["regressed"] is False
+        assert "not found" in verdict["reason"]
+
+    def test_missing_current_is_a_failure(self, tmp_path):
+        verdict = compare_to_baseline(
+            rows(0.10, 0.30), str(tmp_path / "nope.json")
+        )
+        assert verdict["status"] == "no-overlap"
+        assert verdict["regressed"] is True
+
+    def test_zero_time_rows_are_skipped_not_infinite(self):
+        baseline = rows(0.0, 0.30)  # clock-quantised trivial point
+        current = rows(0.50, 0.31)  # would be an "infinite" regression
+        verdict = compare_to_baseline(baseline, current)
+        assert verdict["status"] == "pass"
+        assert 100 in verdict["skipped_keys"]
+        assert len(verdict["points"]) == 1
+
+    def test_disjoint_sweeps_are_no_overlap(self):
+        baseline = [{"clients": 100, "correlation_time_s": 0.1}]
+        current = [{"clients": 900, "correlation_time_s": 0.1}]
+        verdict = compare_to_baseline(baseline, current)
+        assert verdict["status"] == "no-overlap"
+        assert verdict["regressed"] is True
+
+    def test_accepts_bench_documents_and_paths(self, tmp_path):
+        baseline_doc = {"figure_id": "fig9", "rows": rows(0.10, 0.30)}
+        path = tmp_path / "BENCH_fig9.json"
+        path.write_text(json.dumps({"rows": rows(0.09, 0.28)}), encoding="utf-8")
+        verdict = compare_to_baseline(baseline_doc, str(path))
+        assert verdict["status"] == "pass"
+        assert len(verdict["points"]) == 2
+
+    def test_unmatched_points_are_listed_but_tolerated(self):
+        baseline = rows(0.10, 0.30, 1.0)  # third point only in baseline
+        current = rows(0.11, 0.32)
+        verdict = compare_to_baseline(baseline, current)
+        assert verdict["status"] == "pass"
+        assert 300 in verdict["skipped_keys"]
+
+
+class TestBenchGateEntryPoint:
+    def _write(self, path, times):
+        path.write_text(json.dumps({"rows": rows(*times)}), encoding="utf-8")
+
+    def test_exit_1_on_injected_slowdown(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        self._write(baseline, (0.10, 0.30))
+        self._write(current, (0.30, 0.90))  # 3x slower: the injected case
+        code = main(
+            ["compare", "--baseline", str(baseline), "--current", str(current)]
+        )
+        assert code == 1
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["status"] == "regression"
+
+    def test_exit_0_on_parity_and_prints_json(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        self._write(baseline, (0.10, 0.30))
+        self._write(current, (0.10, 0.30))
+        code = main(
+            ["compare", "--baseline", str(baseline), "--current", str(current)]
+        )
+        assert code == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["aggregate_ratio"] == 1.0
+
+    def test_exit_0_when_no_baseline_committed_yet(self, tmp_path, capsys):
+        current = tmp_path / "current.json"
+        self._write(current, (0.10,))
+        code = main(
+            [
+                "compare",
+                "--baseline",
+                str(tmp_path / "absent.json"),
+                "--current",
+                str(current),
+            ]
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["status"] == "missing-baseline"
+
+    def test_tolerance_flag_tightens_the_gate(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        self._write(baseline, (0.10, 0.30))
+        self._write(current, (0.11, 0.34))  # +12.5% aggregate
+        relaxed = main(
+            ["compare", "--baseline", str(baseline), "--current", str(current)]
+        )
+        strict = main(
+            [
+                "compare",
+                "--baseline",
+                str(baseline),
+                "--current",
+                str(current),
+                "--tolerance",
+                "0.05",
+            ]
+        )
+        assert relaxed == 0
+        assert strict == 1

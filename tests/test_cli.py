@@ -154,6 +154,73 @@ class TestCli:
         assert "scenario cache_aside" in output
         assert "100.00 %" in output
 
+    def test_stream_sample_rate_reports_sampled_out(self, capsys):
+        code = main(
+            ["stream", "--clients", "20", "--runtime", "3", "--seed", "7",
+             "--sample-rate", "0.3"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "requests sampled out" in output
+        # a sampled run is meant to miss requests: no oracle accuracy line
+        assert "path accuracy" not in output
+
+    def test_trace_sample_rate_reports_fidelity_not_accuracy(self, capsys):
+        code = main(
+            ["trace", "--clients", "15", "--runtime", "3", "--seed", "5",
+             "--sample-rate", "0.5"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "sample fraction" in output
+        assert "pattern coverage" in output
+        assert "path accuracy" not in output
+
+    def test_simulate_sample_budget_runs(self, capsys):
+        code = main(
+            ["simulate", "--scenario", "cache_aside", "--clients", "15",
+             "--runtime", "3", "--seed", "9", "--sample-budget", "2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "requests sampled out" in output
+
+    def test_sample_rate_out_of_range_exits_2_with_one_line(self, capsys):
+        code = main(["trace", "--clients", "5", "--sample-rate", "1.5"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "--sample-rate must be in (0, 1]" in err
+
+    def test_sample_budget_non_positive_exits_2_with_one_line(self, capsys):
+        code = main(["stream", "--runtime", "2", "--sample-budget", "0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "--sample-budget must be positive" in err
+
+    def test_sample_flags_are_mutually_exclusive(self, capsys):
+        code = main(
+            ["simulate", "--sample-rate", "0.5", "--sample-budget", "10"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "mutually exclusive" in err
+
+    def test_stream_sampled_json_document(self, capsys):
+        import json
+
+        code = main(
+            ["stream", "--clients", "20", "--runtime", "3", "--seed", "7",
+             "--sample-rate", "0.3", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sampling"] == "uniform (rate=0.3)"
+        assert payload["sampled_out_requests"] > 0
+        assert "accuracy" not in payload
+
     def test_trace_json_output_is_a_trace_summary(self, capsys):
         import json
 

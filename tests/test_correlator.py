@@ -3,7 +3,7 @@
 import pytest
 
 from helpers import SyntheticTrace
-from repro.core.correlator import CorrelationResult, Correlator
+from repro.core.correlator import Correlator
 
 
 def build_trace(requests=5, skews=None, seg=None):

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.debugging import (
-    Diagnosis,
     LatencyProfile,
     SegmentChange,
     compare_profiles,

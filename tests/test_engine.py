@@ -1,9 +1,6 @@
 """Unit tests for the correlation engine (Fig. 3 pseudo-code)."""
 
-import pytest
-
 from repro.core.activity import Activity, ActivityType, ContextId, MessageId
-from repro.core.cag import CONTEXT_EDGE, MESSAGE_EDGE
 from repro.core.engine import CorrelationEngine
 
 

@@ -8,7 +8,7 @@ bookkeeping across finished CAGs.
 
 import pytest
 
-from helpers import APP, DB, SyntheticTrace, WEB
+from helpers import APP, SyntheticTrace
 from repro.core.accuracy import path_accuracy
 from repro.core.activity import Activity, ActivityType, ContextId, MessageId
 from repro.core.correlator import Correlator

@@ -15,7 +15,17 @@ kernel-part merging in two subtle ways:
 """
 
 from repro.core.activity import Activity, ActivityType, ContextId, MessageId
+from repro.core.cag import SampledOutCAG
 from repro.core.engine import CorrelationEngine
+
+
+class _RejectAll:
+    """Duck-typed sampler rejecting every request at its root."""
+
+    is_adaptive = False
+
+    def admit(self, root):
+        return False
 
 WEB_CTX = ContextId("web", "httpd", 100, 100)
 CLIENT_KEY = ("10.9.0.1", 51000, "10.1.0.1", 80)
@@ -185,3 +195,112 @@ class TestMergeRecency:
         engine.process(part)
         assert end.size == 2500  # merged into the finished END
         assert engine.cmap.recency(WEB_CTX.as_tuple()) == 1.9
+
+
+class TestSampledOutPurge:
+    """Sampled-out requests must be purged, never leaked.
+
+    Same class of hazard as the merge-recency eviction bug above: a
+    request the sampler rejected still flows through the index maps (the
+    ranker's decisions depend on them), so every piece of its state --
+    the ``cmap`` entry and recency, pending ``mmap`` SENDs, ownership,
+    the tombstone itself -- must be reclaimed when the request completes
+    or is evicted.  A long-running stream sampling at 1% would otherwise
+    grow state with the 99% it decided *not* to trace.
+    """
+
+    def test_multi_part_begin_merges_into_the_tombstone(self):
+        """Late kernel parts of a sampled-out request body must merge into
+        the tombstone root -- not open a second (now untracked) CAG."""
+        engine = CorrelationEngine(sampler=_RejectAll())
+        begin = open_request(engine, begin_ts=1.0)
+        assert engine.stats.sampled_out_roots == 1
+        part = act(ActivityType.BEGIN, 1.9, WEB_CTX, CLIENT_KEY, 200, 1)
+        engine.process(part)
+        assert begin.size == 600  # merged into the tombstone's root
+        assert engine.stats.sampled_out_roots == 1  # no second decision
+        assert len(engine._open) == 1
+        (tombstone,) = engine._open.values()
+        assert isinstance(tombstone, SampledOutCAG)
+        # the merge refreshed the recency structures, exactly as for a
+        # traced request (the PR 2 bug class)
+        assert engine.cmap.recency(WEB_CTX.as_tuple()) == 1.9
+        assert tombstone.newest_timestamp == 1.9
+
+    def test_completion_purges_cmap_and_mmap(self):
+        engine = CorrelationEngine(sampler=_RejectAll())
+        open_request(engine, begin_ts=1.0)
+        send = act(ActivityType.SEND, 1.1, WEB_CTX, CONN_KEY, 100, 1)
+        engine.process(send)
+        assert engine.mmap.has_match(CONN_KEY)  # pending, as in a full run
+        end = act(ActivityType.END, 1.3, WEB_CTX, CLIENT_KEY, 2000, 1)
+        finished = engine.process(end)
+        assert finished is None  # tombstones are never emitted
+        assert engine.stats.sampled_out_finished == 1
+        assert engine.stats.finished_cags == 0
+        assert engine.finished_cags == []
+        # ContextMap/MessageMap recency structures purged with the request
+        assert len(engine.cmap) == 0
+        assert engine.cmap.recency(WEB_CTX.as_tuple()) is None
+        assert len(engine.mmap) == 0
+        assert engine._owner == {}
+        assert engine._partial_receive == {}
+        assert engine.pending_state_size() == 0
+
+    def test_eviction_drops_tombstones_without_retaining_them(self):
+        engine = CorrelationEngine(sampler=_RejectAll())
+        open_request(engine, begin_ts=1.0)
+        send = act(ActivityType.SEND, 1.1, WEB_CTX, CONN_KEY, 100, 1)
+        engine.process(send)
+        partial = act(
+            ActivityType.RECEIVE,
+            1.15,
+            ContextId("app", "java", 250, 250),
+            CONN_KEY,
+            40,
+            1,
+        )
+        engine.process(partial)
+        assert engine._partial_receive  # parked against the pending SEND
+
+        evicted = engine.evict_stale(before=5.0)
+        assert evicted >= 1
+        assert engine.stats.evicted_sampled_out_cags == 1
+        assert engine.stats.evicted_open_cags == 0  # not counted as a loss
+        # evicted, not leaked: nothing retained for incomplete reporting
+        assert engine.evicted_cags == []
+        assert engine._evicted == []
+        assert engine._open == {}
+        assert engine._owner == {}
+        assert engine._partial_receive == {}
+        assert len(engine.mmap) == 0
+        assert len(engine.cmap) == 0
+
+    def test_purge_spares_live_contexts_of_other_requests(self):
+        """The cmap purge is identity-guarded: a context whose latest
+        activity already belongs to a *newer* (traced) request keeps its
+        entry when the old tombstone completes."""
+
+        class RejectFirst:
+            is_adaptive = False
+
+            def __init__(self):
+                self.calls = 0
+
+            def admit(self, root):
+                self.calls += 1
+                return self.calls > 1
+
+        engine = CorrelationEngine(sampler=RejectFirst())
+        open_request(engine, begin_ts=1.0, request_id=1)  # sampled out
+        end_one = act(ActivityType.END, 1.2, WEB_CTX, CLIENT_KEY, 500, 1)
+        engine.process(end_one)
+        assert engine.cmap.recency(WEB_CTX.as_tuple()) is None  # purged
+
+        begin_two = open_request(engine, begin_ts=2.0, request_id=2)  # traced
+        assert engine.cmap.latest(WEB_CTX.as_tuple()) is begin_two
+        end_two = act(ActivityType.END, 2.2, WEB_CTX, CLIENT_KEY, 700, 2)
+        cag = engine.process(end_two)
+        assert cag is not None and cag.request_ids() == {2}
+        # the traced request's completion does not purge its context
+        assert engine.cmap.latest(WEB_CTX.as_tuple()) is end_two

@@ -16,8 +16,6 @@ import hashlib
 import json
 from pathlib import Path
 
-import pytest
-
 from helpers import tiny_config
 from repro.core.log_format import format_record
 from repro.services.faults import FaultConfig

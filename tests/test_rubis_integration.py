@@ -6,7 +6,7 @@ from helpers import tiny_config
 from repro.core.activity import ActivityType
 from repro.services.faults import FaultConfig
 from repro.services.noise import NoiseConfig
-from repro.services.rubis.deployment import APP_IP, DB_IP, WEB_IP, run_rubis
+from repro.services.rubis.deployment import WEB_IP, run_rubis
 
 
 class TestRunMechanics:

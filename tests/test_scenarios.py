@@ -16,7 +16,7 @@ from repro.experiments.runner import sharded_trace, stream_trace
 from repro.pipeline import canonical_cags
 from repro.services.faults import FaultConfig
 from repro.services.noise import NoiseConfig
-from repro.topology import ScenarioConfig, get_scenario, run_scenario, scenario_names
+from repro.topology import ScenarioConfig, run_scenario, scenario_names
 from repro.topology.workload import WorkloadStages
 
 #: Short stages shared by every scenario test run.

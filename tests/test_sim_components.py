@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.activity import ActivityType
 from repro.core.log_format import parse_record
 from repro.sim.clock import NodeClock, spread_skews
 from repro.sim.kernel import Environment

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from helpers import SyntheticTrace, tiny_config
+from helpers import SyntheticTrace
 from repro.core.activity import ActivityType, sort_key
 from repro.core.correlator import Correlator
 from repro.core.engine import CorrelationEngine
