@@ -1,0 +1,32 @@
+"""Differential fuzzing as a benchmark: coverage and seconds per seed.
+
+Not a figure of the paper: this tracks the reproduction's own test rig.
+The fuzz sweep (``repro fuzz``, :mod:`repro.fuzz`) drives generated
+scenarios through the full invariant stack; ``BENCH_fuzz.json`` records,
+per seed, the shape exercised and the case cost, so the performance
+trajectory shows both how much of the scenario space a CI fuzz budget
+buys and whether cases are getting slower.
+"""
+
+from conftest import emit_bench, run_once
+from repro.experiments.figures import figure_fuzz
+
+
+def test_bench_fuzz_sweep(benchmark, scale, cache):
+    result = run_once(benchmark, lambda: figure_fuzz(scale, cache))
+    emit_bench(result)
+
+    assert len(result.rows) == scale.fuzz_seeds
+    # the sweep is a correctness gate too: every invariant holds on
+    # every generated seed
+    assert all(row["violations"] == 0 for row in result.rows)
+    assert all(row["seconds"] > 0 for row in result.rows)
+    assert all(row["activities"] > 0 for row in result.rows)
+
+    # the generator's small-bias still buys shape variety within the
+    # default CI budget: several call patterns and more than one
+    # workload kind per sweep
+    patterns = {p for row in result.rows for p in row["patterns"].split("+")}
+    assert len(patterns) >= 2
+    assert len(set(result.column("workload"))) >= 2
+    assert "s/seed" in result.notes

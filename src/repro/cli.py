@@ -29,6 +29,13 @@ Examples::
     # correlate an existing TCP_TRACE log file (read once, incrementally)
     precisetracer stream --input /var/log/tcp_trace.log --frontend 10.0.0.1:80
 
+    # fuzz the correlation pipeline: 25 generated scenarios through the
+    # full invariant stack, shrinking any failing seed to a minimal repro
+    precisetracer fuzz --seeds 25
+
+    # the nightly variant: more seeds, wall-clock bounded, JSON artifact
+    precisetracer fuzz --seeds 50 --budget 600 --output fuzz_report.json
+
     # list the available figures
     precisetracer list
 
@@ -57,6 +64,14 @@ Commands
     being written, loop :meth:`repro.FileTailSource.poll` from Python.
 ``diagnose``
     Rerun the Fig. 17 fault scenarios and print the implicated tiers.
+``fuzz``
+    Differential fuzzing (``repro.fuzz``): seeded random scenarios from
+    :mod:`repro.topology.generator` driven through the full invariant
+    stack -- batch == streaming == sharded digests, sampled-subset
+    identity, ground-truth accuracy, engine-state conservation.  A
+    failing seed is shrunk to a minimal ``(seed, limits)`` repro and
+    printed (and written to ``--output`` as JSON when given); the exit
+    status is 1 when any seed fails, so CI can gate on it.
 ``profile``
     Regenerate a performance figure (Fig. 9 correlation-time sweep by
     default, or the Fig. 11s streaming-memory sweep), write its
@@ -299,6 +314,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cprofile",
         action="store_true",
         help="also cProfile one batch correlation run and print the hot spots",
+    )
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        help="fuzz the correlation pipeline with generated scenarios",
+    )
+    fuzz_parser.add_argument(
+        "--seeds", type=int, default=25, help="consecutive seeds to run (default: 25)"
+    )
+    fuzz_parser.add_argument(
+        "--start-seed", type=int, default=0, help="first seed (default: 0)"
+    )
+    fuzz_parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="wall-clock budget; the sweep stops cleanly before exceeding it",
+    )
+    fuzz_parser.add_argument("--window", type=float, default=0.010)
+    fuzz_parser.add_argument(
+        "--sample-rate",
+        type=float,
+        default=0.5,
+        metavar="RATE",
+        help="uniform sampling rate exercised by the sampled invariants",
+    )
+    fuzz_parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failing seeds as-is instead of minimizing them",
+    )
+    fuzz_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the machine-readable JSON fuzz report here",
     )
     return parser
 
@@ -715,6 +767,46 @@ def _command_profile(args: argparse.Namespace, scale) -> int:
     return 0
 
 
+def _command_fuzz(args: argparse.Namespace) -> int:
+    """Run the differential fuzz sweep; exit 1 when any seed fails."""
+    from .fuzz import report_payload, run_fuzz
+
+    if args.seeds <= 0:
+        return _fail("--seeds must be positive")
+    if not 0.0 < args.sample_rate <= 1.0:
+        return _fail(f"--sample-rate must be in (0, 1], got {args.sample_rate:g}")
+    if args.window <= 0:
+        return _fail("--window must be positive")
+    if args.budget is not None and args.budget <= 0:
+        return _fail("--budget must be positive")
+
+    def progress(case) -> None:
+        status = "ok " if case.ok else "FAIL"
+        print(
+            f"seed {case.seed:8d}  {status}  tiers={case.shape['tiers']:>2}  "
+            f"{case.shape['workload']:<11s}  activities={case.activities:>6d}  "
+            f"{case.elapsed:.2f}s"
+        )
+
+    report = run_fuzz(
+        seeds=args.seeds,
+        start_seed=args.start_seed,
+        window=args.window,
+        sampling_rate=args.sample_rate,
+        budget=args.budget,
+        shrink_failures=not args.no_shrink,
+        on_case=progress,
+    )
+    print()
+    print(report.describe())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report_payload(report), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"fuzz report written to {args.output}")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -752,6 +844,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_stream(args)
     if args.command == "profile":
         return _command_profile(args, scale)
+    if args.command == "fuzz":
+        return _command_fuzz(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

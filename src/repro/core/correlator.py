@@ -59,6 +59,14 @@ class CorrelationResult:
     #: per-shard activity counts when the sharded driver produced this
     #: result (``None`` for the batch and streaming drivers)
     shard_sizes: Optional[List[int]] = None
+    #: live bookkeeping entries (index maps, owners, open CAGs) left in
+    #: the engine after the drain -- the leak-sanity figure the fuzz
+    #: harness compares between sampled and unsampled runs
+    final_state_entries: int = 0
+    #: sampled-out tombstones still open after the drain; a drained batch
+    #: run must satisfy ``sampled_out_roots == sampled_out_finished +
+    #: final_open_tombstones`` (nothing leaked, nothing double-counted)
+    final_open_tombstones: int = 0
 
     @property
     def completed_requests(self) -> int:
@@ -218,4 +226,6 @@ class Correlator:
             engine_stats=engine.stats,
             window=self.window,
             total_activities=total_activities,
+            final_state_entries=engine.pending_state_size(),
+            final_open_tombstones=engine.open_tombstone_count,
         )

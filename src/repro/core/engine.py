@@ -53,6 +53,11 @@ class EngineStats:
     # completion; see :class:`repro.core.cag.SampledOutCAG`.
     sampled_out_roots: int = 0
     sampled_out_finished: int = 0
+    #: context-map entries purged because their latest activity belonged
+    #: to a closing sampled-out tombstone (see ``_release_vertices``);
+    #: every finished tombstone purges at least its END's entry, a
+    #: conservation law the fuzz harness checks.
+    purged_cmap_entries: int = 0
     # Watermark-based eviction counters (streaming mode only; the batch
     # path never evicts).  See :meth:`CorrelationEngine.evict_stale`.
     evicted_mmap_entries: int = 0
@@ -142,6 +147,12 @@ class CorrelationEngine:
         """Number of in-flight entries, tombstones included (the memory
         figure the adaptive sampler steers against)."""
         return len(self._open)
+
+    @property
+    def open_tombstone_count(self) -> int:
+        """Sampled-out tombstones still in flight (engine-sanity probe:
+        after a drained batch run, roots == finished + this count)."""
+        return sum(1 for cag in self._open.values() if cag.sampled_out)
 
     @property
     def evicted_cags(self) -> List[CAG]:
@@ -484,3 +495,4 @@ class CorrelationEngine:
                 if self._cmap_latest.get(key) is vertex:
                     del self._cmap_latest[key]
                     self._cmap_recency.pop(key, None)
+                    self.stats.purged_cmap_entries += 1

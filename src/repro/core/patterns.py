@@ -142,9 +142,18 @@ class PatternClassifier:
 
     @property
     def patterns(self) -> List[PathPattern]:
-        """All patterns, most frequent first."""
+        """All patterns, most frequent first.
+
+        The final tie-break is the signature itself (a nested tuple of
+        strings and ints, totally ordered): without it, equally frequent
+        equal-length patterns fell back to dict insertion order, which
+        is the order the backend *emitted* CAGs in -- so the batch and
+        sharded drivers could rank tied patterns differently and the
+        ranked-report digests diverged (found by ``repro fuzz``,
+        seed 17).
+        """
         return sorted(
-            self._patterns.values(), key=lambda p: (-p.count, p.length)
+            self._patterns.values(), key=lambda p: (-p.count, p.length, p.signature)
         )
 
     def most_frequent(self) -> Optional[PathPattern]:

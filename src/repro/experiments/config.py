@@ -63,6 +63,10 @@ class ExperimentScale:
     baseline_clients: Tuple[int, ...] = (100, 400)
     #: sampling rates for the overhead-control figure (1.0 = trace all)
     sampling_rates: Tuple[float, ...] = (1.0, 0.5, 0.25, 0.1)
+    #: consecutive generated seeds swept by the fuzz figure/benchmark
+    fuzz_seeds: int = 12
+    #: uniform sampling rate the fuzz invariants are exercised at
+    fuzz_sampling_rate: float = 0.5
     #: scenario-library scenarios swept by the overhead-control figure
     sampling_scenarios: Tuple[str, ...] = ("rubis", "fanout_aggregator", "cache_aside")
 
@@ -89,6 +93,7 @@ FULL = ExperimentScale(
     accuracy_windows=(0.001, 0.010, 0.1, 1.0, 10.0),
     accuracy_skews=(0.001, 0.050, 0.100, 0.500),
     sampling_rates=(1.0, 0.75, 0.5, 0.25, 0.1, 0.05),
+    fuzz_seeds=50,
     sampling_scenarios=(
         "rubis",
         "five_tier_chain",

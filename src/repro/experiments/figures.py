@@ -754,6 +754,73 @@ def figure_sampling(
     return result
 
 
+def figure_fuzz(
+    scale: Optional[ExperimentScale] = None, cache: Optional[RunCache] = None
+) -> FigureResult:
+    """Differential fuzzing: generated scenarios vs the invariant stack.
+
+    Not a figure of the paper but of the reproduction's own test rig:
+    ``scale.fuzz_seeds`` consecutive generated scenarios
+    (:mod:`repro.topology.generator`) are each driven through the full
+    invariant stack (:mod:`repro.fuzz`), and the rows record what each
+    seed exercised and what it cost -- so the BENCH trajectory shows
+    both the shapes covered and the seconds-per-seed trend over time.
+    The ``cache`` parameter is accepted for generator-signature
+    uniformity; fuzz cases are never memoised (each seed is its own
+    run).
+    """
+    from ..fuzz import run_fuzz
+
+    scale = scale or default_scale()
+    result = FigureResult(
+        figure_id="fuzz",
+        title="Differential fuzzing: invariant coverage per generated seed",
+        columns=[
+            "seed",
+            "tiers",
+            "patterns",
+            "workload",
+            "replicated",
+            "request_types",
+            "activities",
+            "requests",
+            "spliced_receives",
+            "violations",
+            "seconds",
+        ],
+    )
+    report = run_fuzz(
+        seeds=scale.fuzz_seeds,
+        window=scale.window,
+        sampling_rate=scale.fuzz_sampling_rate,
+    )
+    for case in report.cases:
+        result.rows.append(
+            {
+                "seed": case.seed,
+                "tiers": case.shape["tiers"],
+                "patterns": "+".join(sorted(case.shape["patterns"])),
+                "workload": case.shape["workload"],
+                "replicated": case.shape["replicated"],
+                "request_types": case.shape["request_types"],
+                "activities": case.activities,
+                "requests": case.requests,
+                "spliced_receives": case.spliced_receives,
+                "violations": len(case.violations),
+                "seconds": round(case.elapsed, 4),
+            }
+        )
+    coverage = report.coverage()
+    result.notes = (
+        f"{report.seeds_run} seeds, {len(report.failures)} failing, "
+        f"{report.seconds_per_seed():.2f} s/seed; covered "
+        f"patterns={'/'.join(coverage['patterns'])} "
+        f"workloads={'/'.join(coverage['workloads'])} "
+        f"tiers={coverage['tiers_min']}..{coverage['tiers_max']}"
+    )
+    return result
+
+
 # ---------------------------------------------------------------------------
 # Extra: probabilistic-baseline comparison
 # ---------------------------------------------------------------------------
@@ -809,4 +876,5 @@ ALL_FIGURES = {
     "baselines": baseline_comparison,
     "scenarios": scenario_accuracy,
     "sampling": figure_sampling,
+    "fuzz": figure_fuzz,
 }

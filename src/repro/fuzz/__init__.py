@@ -1,0 +1,32 @@
+"""Cross-backend fuzzing of the correlation pipeline.
+
+Seeded random scenarios (:mod:`repro.topology.generator`) driven through
+the full invariant stack -- backend equivalence, sampling identity,
+ground-truth accuracy, engine-state conservation -- with shrink-on-failure.
+``repro fuzz --seeds N`` is the CLI front end; :func:`run_fuzz` the
+programmatic one.
+"""
+
+from .harness import (
+    CaseResult,
+    FailureReport,
+    FuzzReport,
+    Violation,
+    report_payload,
+    run_case,
+    run_fuzz,
+    run_generated_scenario,
+    shrink,
+)
+
+__all__ = [
+    "CaseResult",
+    "FailureReport",
+    "FuzzReport",
+    "Violation",
+    "report_payload",
+    "run_case",
+    "run_fuzz",
+    "run_generated_scenario",
+    "shrink",
+]

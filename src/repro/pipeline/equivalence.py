@@ -104,6 +104,10 @@ class BackendOutcome:
     cag_count: int
     incomplete_count: int
     correlation_time: float
+    #: the full result, retained only when ``verify_equivalence`` is
+    #: called with ``keep_results=True`` (the fuzz harness inspects the
+    #: engine counters of every backend, not just the digest)
+    result: Optional[CorrelationResult] = None
 
     @property
     def kind(self) -> str:
@@ -165,6 +169,7 @@ def verify_equivalence(
     window: float = 0.010,
     skew_bound: float = 0.005,
     sampling=None,
+    keep_results: bool = False,
 ) -> EquivalenceReport:
     """Run one source through several backends and compare the results.
 
@@ -176,7 +181,10 @@ def verify_equivalence(
     ``sampling`` (a :class:`~repro.sampling.SamplingSpec`) extends the
     default matrix to sampled runs: the sampler decides at the causal
     root by deterministic hashing, so every backend admits the identical
-    request subset and the digests still match.
+    request subset and the digests still match.  ``keep_results=True``
+    retains each backend's full :class:`CorrelationResult` on its
+    outcome, so callers (the fuzz harness) can check engine-state
+    conservation laws on top of the digests.
 
     Returns the report; chain ``.require()`` to use it as a hard gate::
 
@@ -197,6 +205,7 @@ def verify_equivalence(
                 cag_count=len(result.cags),
                 incomplete_count=len(result.incomplete_cags),
                 correlation_time=result.correlation_time,
+                result=result if keep_results else None,
             )
         )
     return report

@@ -180,6 +180,8 @@ class IncrementalEngine:
             engine_stats=self.engine.stats,
             window=self.window,
             total_activities=self.total_ingested,
+            final_state_entries=self.pending_state_size(),
+            final_open_tombstones=self.engine.open_tombstone_count,
         )
 
     # -- internals ----------------------------------------------------------

@@ -178,6 +178,8 @@ def merge_results(
         window=window,
         total_activities=total_activities,
         shard_sizes=list(shard_sizes) if shard_sizes is not None else None,
+        final_state_entries=sum(p.final_state_entries for p in parts),
+        final_open_tombstones=sum(p.final_open_tombstones for p in parts),
     )
 
 

@@ -17,6 +17,15 @@ from .deployment import (
     TopologyDeployment,
     TopologyRunResult,
 )
+from .generator import (
+    DEFAULT_LIMITS,
+    WORKLOAD_SHAPES,
+    GeneratorLimits,
+    entity_exclusive_step,
+    generate_many,
+    generate_scenario,
+    scenario_shape,
+)
 from .groundtruth import GroundTruthRecorder, TracedRequest
 from .library import (
     SCENARIOS,
@@ -25,6 +34,15 @@ from .library import (
     get_scenario,
     run_scenario,
     scenario_names,
+)
+from .scenario_io import (
+    ScenarioFileError,
+    dump_scenario,
+    load_scenario,
+    loads_scenario,
+    register_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
 )
 from .spec import TierSpec, TopologyError, TopologySpec, WorkloadSpec
 from .workload import (
@@ -42,22 +60,36 @@ __all__ = [
     "ClientEmulator",
     "ClientMetrics",
     "CompletedRequest",
+    "DEFAULT_LIMITS",
+    "GeneratorLimits",
     "GroundTruthRecorder",
     "OpenLoopEmulator",
     "RunSettings",
     "SCENARIOS",
     "Scenario",
     "ScenarioConfig",
+    "ScenarioFileError",
     "TierSpec",
     "TopologyDeployment",
     "TopologyError",
     "TopologyRunResult",
     "TopologySpec",
     "TracedRequest",
+    "WORKLOAD_SHAPES",
     "WorkloadSpec",
     "WorkloadStages",
+    "dump_scenario",
+    "entity_exclusive_step",
+    "generate_many",
+    "generate_scenario",
     "get_scenario",
+    "load_scenario",
+    "loads_scenario",
     "make_emulator",
+    "register_scenario",
     "run_scenario",
+    "scenario_from_dict",
     "scenario_names",
+    "scenario_shape",
+    "scenario_to_dict",
 ]

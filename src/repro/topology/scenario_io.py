@@ -1,0 +1,270 @@
+"""Scenario files: serialize, load and register scenarios as data.
+
+ROADMAP item 4 calls for scenarios that are "data all the way down".
+This module is the file half of that: a :class:`Scenario` (topology +
+workload + operation catalogue) round-trips through a plain-dict payload
+to YAML or JSON and back **exactly** -- tuples, frozensets and nested
+dataclasses are reconstructed with the original types, so
+
+    scenario == loads_scenario(dump_scenario(scenario))
+
+holds by ``==`` on the frozen dataclasses.  The five library entries
+ship as ``scenarios/*.yaml`` and are pinned to their hand-written
+builders by ``tests/test_generator.py``.
+
+:func:`load_scenario` is the user entry point: it reads a file,
+registers the scenario in the library registry (so the name passes
+:class:`~repro.topology.library.ScenarioConfig` validation and works
+with every ``--scenario`` CLI flag) and returns a ready
+:class:`~repro.topology.library.ScenarioConfig`, with the file's
+optional ``run:`` section applied as config overrides.
+
+YAML needs PyYAML (a dev/CI dependency; the runtime package stays
+stdlib-only): without it, JSON files keep working and YAML files raise a
+:class:`ScenarioFileError` naming the missing module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from .library import SCENARIOS, Scenario, ScenarioConfig, _CACHE, get_scenario
+from .operations import QuerySpec, RequestType
+from .spec import TierSpec, TopologySpec, WorkloadSpec
+from .workload import WorkloadStages
+
+try:  # PyYAML is a dev-environment dependency, not a runtime one.
+    import yaml as _yaml
+except ImportError:  # pragma: no cover - exercised only without PyYAML
+    _yaml = None
+
+#: Version tag written into every scenario file.
+FORMAT = "repro-scenario/v1"
+
+#: ``run:`` keys forwarded to :class:`ScenarioConfig` (scalar knobs only;
+#: faults/noise/segmentation stay code-level policy objects).
+RUN_OVERRIDE_KEYS = (
+    "clients",
+    "arrival_rate",
+    "think_time",
+    "workload_kind",
+    "seed",
+    "clock_skew",
+    "tracing_enabled",
+    "probe_overhead",
+    "network_latency",
+    "network_bandwidth_mbps",
+    "cpus_per_node",
+)
+
+
+class ScenarioFileError(ValueError):
+    """Raised for malformed or unloadable scenario files."""
+
+
+# ---------------------------------------------------------------------------
+# dataclass <-> plain dict
+# ---------------------------------------------------------------------------
+
+
+def _dataclass_to_dict(value) -> Dict:
+    return {
+        f.name: _plain(getattr(value, f.name)) for f in dataclasses.fields(value)
+    }
+
+
+def _plain(value):
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_plain(item) for item in value]
+    if isinstance(value, frozenset):
+        return sorted(value)
+    if dataclasses.is_dataclass(value):
+        return _dataclass_to_dict(value)
+    raise ScenarioFileError(f"cannot serialize {type(value).__name__} in a scenario")
+
+
+def _build(cls, data: Dict, context: str):
+    """Construct a dataclass from a dict, rejecting unknown keys."""
+    if not isinstance(data, dict):
+        raise ScenarioFileError(f"{context}: expected a mapping, got {type(data).__name__}")
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - names)
+    if unknown:
+        raise ScenarioFileError(
+            f"{context}: unknown keys {', '.join(unknown)}; "
+            f"valid keys: {', '.join(sorted(names))}"
+        )
+    return cls(**data)
+
+
+def scenario_to_dict(scenario: Scenario) -> Dict:
+    """The plain-data payload of one scenario (YAML/JSON-ready)."""
+    return {
+        "name": scenario.name,
+        "description": scenario.description,
+        "topology": _dataclass_to_dict(scenario.topology),
+        "workload": _dataclass_to_dict(scenario.workload),
+        "mix": [
+            {"weight": weight, "request": _dataclass_to_dict(request)}
+            for request, weight in scenario.mix
+        ],
+    }
+
+
+def scenario_from_dict(data: Dict) -> Scenario:
+    """Rebuild a :class:`Scenario`, restoring the exact member types."""
+    for key in ("name", "topology", "workload", "mix"):
+        if key not in data:
+            raise ScenarioFileError(f"scenario payload is missing {key!r}")
+
+    topo = dict(data["topology"])
+    tiers = tuple(
+        _build(
+            TierSpec,
+            {**tier, "downstream": tuple(tier.get("downstream", ()))},
+            f"tier #{i}",
+        )
+        for i, tier in enumerate(topo.pop("tiers", []))
+    )
+    topo["tiers"] = tiers
+    topo["client_ips"] = tuple(topo.get("client_ips", ()))
+    topo["ssh_noise"] = tuple(
+        (tier, program) for tier, program in topo.get("ssh_noise", ())
+    )
+    topo["ignore_programs"] = frozenset(topo.get("ignore_programs", ()))
+    topology = _build(TopologySpec, topo, "topology")
+
+    work = dict(data["workload"])
+    if "stages" in work:
+        work["stages"] = _build(WorkloadStages, work["stages"], "workload.stages")
+    workload = _build(WorkloadSpec, work, "workload")
+
+    mix = []
+    for i, entry in enumerate(data["mix"]):
+        request = dict(entry["request"])
+        request["queries"] = tuple(
+            _build(QuerySpec, query, f"mix[{i}].queries")
+            for query in request.get("queries", ())
+        )
+        mix.append((_build(RequestType, request, f"mix[{i}]"), float(entry["weight"])))
+
+    return Scenario(
+        name=data["name"],
+        description=data.get("description", ""),
+        topology=topology,
+        workload=workload,
+        mix=tuple(mix),
+    )
+
+
+# ---------------------------------------------------------------------------
+# text / file round-trip
+# ---------------------------------------------------------------------------
+
+
+def dump_scenario(
+    scenario: Scenario,
+    path: Optional[Union[str, Path]] = None,
+    run: Optional[Dict] = None,
+) -> str:
+    """Serialize a scenario (plus optional ``run:`` overrides) to text.
+
+    YAML when PyYAML is available, JSON otherwise -- and always JSON for
+    a ``.json`` ``path``.  When ``path`` is given the text is written
+    there too.
+    """
+    payload: Dict = {"format": FORMAT, "scenario": scenario_to_dict(scenario)}
+    if run:
+        payload["run"] = dict(run)
+    as_json = (path is not None and str(path).endswith(".json")) or _yaml is None
+    if as_json:
+        text = json.dumps(payload, indent=2, sort_keys=False) + "\n"
+    else:
+        text = _yaml.safe_dump(payload, sort_keys=False, default_flow_style=False)
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def loads_scenario(text: str) -> Scenario:
+    """Parse scenario text (YAML or JSON) back into a :class:`Scenario`."""
+    return scenario_from_dict(_parse(text, "<string>")[0])
+
+
+def _parse(text: str, origin: str):
+    """Parse payload text; returns (scenario_dict, run_dict)."""
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        payload = json.loads(text)
+    elif _yaml is not None:
+        payload = _yaml.safe_load(text)
+    else:
+        raise ScenarioFileError(
+            f"{origin} looks like YAML but PyYAML is not installed; "
+            "install pyyaml (see requirements-dev.txt) or use a JSON "
+            "scenario file"
+        )
+    if not isinstance(payload, dict) or "scenario" not in payload:
+        raise ScenarioFileError(
+            f"{origin}: not a scenario file (missing the 'scenario' section)"
+        )
+    fmt = payload.get("format", FORMAT)
+    if fmt != FORMAT:
+        raise ScenarioFileError(
+            f"{origin}: unsupported format {fmt!r} (this build reads {FORMAT})"
+        )
+    run = payload.get("run", {}) or {}
+    if not isinstance(run, dict):
+        raise ScenarioFileError(f"{origin}: the 'run' section must be a mapping")
+    unknown = sorted(set(run) - set(RUN_OVERRIDE_KEYS))
+    if unknown:
+        raise ScenarioFileError(
+            f"{origin}: unknown run override(s) {', '.join(unknown)}; "
+            f"valid overrides: {', '.join(RUN_OVERRIDE_KEYS)}"
+        )
+    return payload["scenario"], run
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario to the library registry under its own name.
+
+    Loading the same definition twice is idempotent; a *different*
+    definition under a registered name (library or previously loaded) is
+    refused -- silently shadowing ``rubis`` with a modified file would
+    poison every named lookup in the process.
+    """
+    if scenario.name in SCENARIOS:
+        existing = get_scenario(scenario.name)
+        if existing != scenario:
+            raise ScenarioFileError(
+                f"scenario {scenario.name!r} is already registered with a "
+                "different definition; rename the scenario in the file"
+            )
+        return existing
+    SCENARIOS[scenario.name] = lambda: scenario
+    _CACHE[scenario.name] = scenario
+    return scenario
+
+
+def load_scenario(path: Union[str, Path]) -> ScenarioConfig:
+    """Load a scenario file, register it, and return a run config.
+
+    The returned :class:`ScenarioConfig` names the loaded scenario and
+    carries the file's ``run:`` overrides (if any)::
+
+        config = load_scenario("scenarios/cache_aside.yaml")
+        result = run_scenario(config, seed=7)
+    """
+    file_path = Path(path)
+    try:
+        text = file_path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise ScenarioFileError(f"cannot read scenario file {file_path}: {error}") from None
+    scenario_data, run = _parse(text, str(file_path))
+    scenario = register_scenario(scenario_from_dict(scenario_data))
+    return ScenarioConfig(scenario=scenario.name, **run)

@@ -347,6 +347,38 @@ class TestCli:
         assert written["label"] == "repro profile"
         assert written["rows"][0]["correlation_time_s"] == 0.05
 
+    def test_fuzz_command_runs_and_writes_the_report(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "fuzz_report.json"
+        code = main(["fuzz", "--seeds", "2", "--output", str(out)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fuzz: 2/2 seeds run, 0 failing" in output
+        assert f"fuzz report written to {out}" in output
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["ok"] is True
+        assert payload["seeds_run"] == 2
+        assert payload["failures"] == []
+
+    def test_fuzz_budget_bounds_the_sweep(self, capsys):
+        code = main(["fuzz", "--seeds", "50", "--budget", "0.000001"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "budget exhausted" in output
+
+    def test_fuzz_bad_flags_exit_2_with_one_line(self, capsys):
+        for argv, message in [
+            (["fuzz", "--seeds", "0"], "--seeds"),
+            (["fuzz", "--sample-rate", "1.5"], "--sample-rate"),
+            (["fuzz", "--budget", "-1"], "--budget"),
+            (["fuzz", "--window", "0"], "--window"),
+        ]:
+            assert main(argv) == 2
+            err = capsys.readouterr().err
+            assert err.count("\n") == 1
+            assert message in err
+
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure", "fig99"])

@@ -1,0 +1,200 @@
+"""Fuzz-harness tests: smoke, shrinking, and the pinned historical bugs.
+
+The second half regression-pins the three real correlation bugs earlier
+PRs fixed -- the fan-out RECEIVE splice, the pattern-signature tie-break
+and the sampled-out context-map purge -- by reverting each fix in place
+(monkeypatched back to the faithful pre-fix behaviour, reconstructed
+from the fixing commits) and asserting that a *generated* seed catches
+the regression.  That is the harness's reason to exist: each of these
+bugs originally needed a hand-written scenario to surface; here a seed
+drawn from the generator finds all three.
+"""
+
+import json
+
+import pytest
+
+from repro.core import patterns as patterns_mod
+from repro.core.activity import ActivityType
+from repro.core.cag import CONTEXT_EDGE
+from repro.core.engine import CorrelationEngine
+from repro.fuzz import report_payload, run_case, run_fuzz, shrink
+from repro.topology import DEFAULT_LIMITS
+
+#: Small envelope for the smoke tests: full variety, cheap cases.
+SMOKE_LIMITS = DEFAULT_LIMITS.with_overrides(max_tiers=8, runtime=1.0)
+
+
+class TestHarnessSmoke:
+    def test_three_seed_sweep_is_green(self):
+        report = run_fuzz(seeds=3, limits=SMOKE_LIMITS)
+        assert report.ok
+        assert report.seeds_run == 3
+        assert report.seconds_per_seed() > 0
+        coverage = report.coverage()
+        assert coverage["tiers_min"] >= 3
+        assert coverage["total_activities"] > 0
+        assert "fuzz: 3/3 seeds run, 0 failing" in report.describe()
+
+    def test_report_payload_is_json_ready(self):
+        report = run_fuzz(seeds=2, limits=SMOKE_LIMITS)
+        payload = json.loads(json.dumps(report_payload(report)))
+        assert payload["ok"] is True
+        assert payload["seeds_run"] == 2
+        assert payload["failures"] == []
+        assert set(payload["coverage"]) >= {"patterns", "workloads", "tiers_max"}
+
+    def test_zero_budget_stops_before_the_first_case(self):
+        report = run_fuzz(seeds=5, limits=SMOKE_LIMITS, budget=0.0)
+        assert report.budget_exhausted
+        assert report.seeds_run == 0
+        assert report.ok
+
+    def test_case_result_carries_the_scenario_shape(self):
+        case = run_case(0, SMOKE_LIMITS)
+        assert case.ok
+        assert case.shape["workload"] in ("closed", "open", "bursty")
+        assert case.activities > 0
+        assert case.requests > 0
+
+
+# ---------------------------------------------------------------------------
+# the three pinned historical bugs
+# ---------------------------------------------------------------------------
+
+#: Generated seed that catches each fix when it is reverted.  The seeds
+#: were found by sweeping the generator against the reverted code: they
+#: are ordinary consecutive-integer seeds, not hand-tuned scenarios.
+SPLICE_SEED = 63
+TIE_KEY_SEED = 19
+PURGE_SEED = 0
+
+
+def _violated(case):
+    return sorted({violation.invariant for violation in case.violations})
+
+
+def _legacy_splice(self, cag, current, latest):
+    """Pre-splice behaviour (before the topology-subsystem PR): a
+    late-balancing multi-part RECEIVE is chained *after* the newer
+    same-context activity -- delivery order -- and takes over the
+    context-map entry, so the chain depends on how message parts
+    interleaved at delivery time."""
+    cag.add_edge(latest, current, CONTEXT_EDGE)
+    key = current.context_key
+    self._cmap_latest[key] = current
+    self._cmap_recency[key] = current.timestamp
+
+
+def _legacy_tie_key(vertex):
+    """Pre-pipeline-PR signature order: concurrently-ready vertices fall
+    back to CAG insertion order (``tie_key=0`` keeps only the built-in
+    insertion-index fallback), which is the delivery interleaving."""
+    return 0
+
+
+def _legacy_release_vertices(self, cag):
+    """Pre-sampling-fix release: per-vertex owner/mmap cleanup without
+    the sampled-out context-map purge, so every discarded request leaks
+    its execution entities' latest-activity entries."""
+    for vertex in cag.vertices:
+        self._owner.pop(id(vertex), None)
+        if vertex.type is ActivityType.SEND:
+            self.mmap.remove(vertex)
+            self._partial_receive.pop(id(vertex), None)
+
+
+class TestPinnedHistoricalBugs:
+    def test_pinned_seeds_pass_with_the_fixes_in_place(self):
+        for seed in (SPLICE_SEED, TIE_KEY_SEED, PURGE_SEED):
+            case = run_case(seed)
+            assert case.ok, f"seed {seed}: {[str(v) for v in case.violations]}"
+
+    def test_fanout_splice_revert_breaks_equivalence(self, monkeypatch):
+        monkeypatch.setattr(CorrelationEngine, "_splice_in_order", _legacy_splice)
+        case = run_case(SPLICE_SEED)
+        assert "full_equivalence" in _violated(case)
+
+    def test_signature_tie_break_revert_breaks_equivalence(self, monkeypatch):
+        monkeypatch.setattr(patterns_mod, "_signature_tie_key", _legacy_tie_key)
+        case = run_case(TIE_KEY_SEED)
+        assert "full_equivalence" in _violated(case)
+
+    def test_sampled_out_purge_revert_leaks_engine_state(self, monkeypatch):
+        monkeypatch.setattr(
+            CorrelationEngine, "_release_vertices", _legacy_release_vertices
+        )
+        case = run_case(PURGE_SEED)
+        assert "engine_state" in _violated(case)
+        assert any("purge" in str(v) for v in case.violations)
+
+    def test_shrink_minimizes_a_failing_seed(self, monkeypatch):
+        monkeypatch.setattr(
+            CorrelationEngine, "_release_vertices", _legacy_release_vertices
+        )
+        failure = shrink(PURGE_SEED, DEFAULT_LIMITS)
+        assert failure.shrunk_violations, "shrunk repro must still fail"
+        assert failure.shrink_steps == 5
+        # the purge leak survives the structural reductions, so the
+        # minimized envelope is a tiny mesh with a one-entry catalogue
+        # (the runtime reduction may be dropped: a run too short to
+        # finish sampled-out requests no longer reproduces the leak)
+        assert failure.shrunk_limits.max_tiers <= 5
+        assert failure.shrunk_limits.max_request_types == 1
+        assert "minimized repro" in failure.describe()
+
+
+class TestFuzzSweepReportsFailures(object):
+    def test_sweep_shrinks_and_reports_a_failing_seed(self, monkeypatch):
+        monkeypatch.setattr(
+            CorrelationEngine, "_release_vertices", _legacy_release_vertices
+        )
+        report = run_fuzz(seeds=1, start_seed=PURGE_SEED, shrink_failures=False)
+        assert not report.ok
+        assert report.failures[0].seed == PURGE_SEED
+        payload = report_payload(report)
+        assert payload["ok"] is False
+        assert payload["failures"][0]["seed"] == PURGE_SEED
+        assert payload["failures"][0]["shrunk_violations"]
+        assert f"seed {PURGE_SEED} FAILED" in report.describe()
+
+
+#: First *open* finding of the harness (2026-08): on a connection
+#: reused across pipelined requests, oversized-RECEIVE byte matching is
+#: sensitive to candidate delivery order, and the delivery order of a
+#: causally-closed component correlated in isolation legitimately
+#: differs from the whole-trace run restricted to that component -- so
+#: the sharded backend's digest can diverge from batch/streaming (which
+#: agree).  Seeds 90 and 119 hit it in the first 150; the shrunk
+#: envelope below reproduces seed 119 in well under a second.
+ORDER_SENSITIVE_SEED = 119
+ORDER_SENSITIVE_LIMITS = DEFAULT_LIMITS.with_overrides(
+    max_replicas=1, runtime=0.5, ramp=0.1
+)
+
+
+class TestOpenFindings:
+    @pytest.mark.xfail(
+        strict=True,
+        reason="open: sharded digest diverges from batch/streaming when "
+        "an oversized RECEIVE spans pipelined requests on a reused "
+        "connection (order-sensitive byte matching; see ROADMAP item 4)",
+    )
+    def test_pipelined_oversized_receive_shard_equivalence(self):
+        case = run_case(ORDER_SENSITIVE_SEED, limits=ORDER_SENSITIVE_LIMITS)
+        assert case.ok, case.violations
+
+    def test_the_divergence_is_sharded_only(self):
+        # pin the *shape* of the open bug: batch and streaming must stay
+        # in agreement even on the failing seed -- only the sharded
+        # backend drifts.  If this test fails the bug has changed class.
+        from repro.fuzz.harness import run_generated_scenario
+        from repro.pipeline import RunSource, verify_equivalence
+        from repro.topology.generator import generate_scenario
+
+        scenario = generate_scenario(ORDER_SENSITIVE_SEED, ORDER_SENSITIVE_LIMITS)
+        run = run_generated_scenario(ORDER_SENSITIVE_SEED, scenario)
+        report = verify_equivalence(RunSource(run=run), window=0.010)
+        digests = {o.backend.kind: o.digest for o in report.outcomes}
+        assert digests["batch"] == digests["streaming"]
+        assert digests["sharded"] != digests["batch"]

@@ -1,0 +1,176 @@
+"""Property tests for the seeded scenario generator and scenario files.
+
+Three contracts, each load-bearing for the fuzz harness:
+
+* **validity** -- every seed yields a scenario that passes the eager
+  spec validation (the harness never has to catch generator bugs);
+* **determinism** -- the same seed re-generates a byte-identical
+  scenario (a reported failing seed *is* the repro);
+* **round-trip** -- ``scenario == loads_scenario(dump_scenario(scenario))``
+  exactly, and the five shipped ``scenarios/*.yaml`` files are pinned to
+  the hand-written library builders.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    DEFAULT_LIMITS,
+    ScenarioFileError,
+    TopologyError,
+    dump_scenario,
+    generate_scenario,
+    load_scenario,
+    loads_scenario,
+    scenario_from_dict,
+    scenario_shape,
+    scenario_to_dict,
+)
+from repro.topology.generator import scenario_name
+from repro.topology.library import get_scenario, scenario_names
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+SCENARIO_DIR = Path(__file__).resolve().parent.parent / "scenarios"
+
+#: Default envelope with a lower tier ceiling, so hypothesis examples
+#: stay cheap without losing any pattern/workload variety.
+TIGHT = DEFAULT_LIMITS.with_overrides(max_tiers=12)
+
+
+class TestGeneratedScenarioValidity:
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, **COMMON)
+    def test_every_seed_yields_a_validated_scenario(self, seed):
+        scenario = generate_scenario(seed, TIGHT)
+        # generate_scenario already builds eagerly-validated specs; the
+        # explicit re-validation pins that the *returned* objects pass too.
+        scenario.topology.validate()
+        scenario.workload.validate()
+        assert scenario.name == scenario_name(seed)
+        assert TIGHT.min_tiers <= len(scenario.topology.tiers) <= TIGHT.max_tiers
+        assert 1 <= len(scenario.mix) <= TIGHT.max_request_types
+        assert all(weight > 0 for _request, weight in scenario.mix)
+        assert scenario_shape(scenario)["workload"] in ("closed", "open", "bursty")
+
+    @given(
+        seed=st.integers(0, 10**6),
+        min_tiers=st.integers(3, 6),
+        extra=st.integers(0, 10),
+        max_replicas=st.integers(1, 4),
+    )
+    @settings(max_examples=30, **COMMON)
+    def test_limits_envelope_is_respected(self, seed, min_tiers, extra, max_replicas):
+        limits = DEFAULT_LIMITS.with_overrides(
+            min_tiers=min_tiers, max_tiers=min_tiers + extra, max_replicas=max_replicas
+        )
+        scenario = generate_scenario(seed, limits)
+        tiers = scenario.topology.tiers
+        assert min_tiers <= len(tiers) <= min_tiers + extra
+        assert all(tier.replicas <= max_replicas for tier in tiers)
+
+    def test_invalid_limits_are_rejected_eagerly(self):
+        with pytest.raises(TopologyError, match="min_tiers"):
+            generate_scenario(0, DEFAULT_LIMITS.with_overrides(min_tiers=2, max_tiers=2))
+
+
+class TestDeterminism:
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, **COMMON)
+    def test_same_seed_regenerates_byte_identically(self, seed):
+        first = generate_scenario(seed, TIGHT)
+        second = generate_scenario(seed, TIGHT)
+        assert first == second
+        assert dump_scenario(first) == dump_scenario(second)
+
+    def test_adjacent_seeds_differ(self):
+        assert generate_scenario(0) != generate_scenario(1)
+
+
+class TestRoundTrip:
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=25, **COMMON)
+    def test_text_round_trip_is_exact(self, seed):
+        scenario = generate_scenario(seed, TIGHT)
+        assert loads_scenario(dump_scenario(scenario)) == scenario
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=25, **COMMON)
+    def test_dict_round_trip_survives_json_encoding(self, seed):
+        scenario = generate_scenario(seed, TIGHT)
+        payload = json.loads(json.dumps(scenario_to_dict(scenario)))
+        assert scenario_from_dict(payload) == scenario
+
+    def test_json_file_round_trip(self, tmp_path):
+        scenario = generate_scenario(7, TIGHT)
+        path = tmp_path / "gen.json"
+        dump_scenario(scenario, path)
+        assert loads_scenario(path.read_text(encoding="utf-8")) == scenario
+
+
+class TestLibraryScenarioFiles:
+    def test_every_library_entry_ships_as_yaml(self):
+        shipped = {path.stem for path in SCENARIO_DIR.glob("*.yaml")}
+        assert shipped == set(scenario_names())
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_shipped_file_equals_the_hand_written_builder(self, name):
+        text = (SCENARIO_DIR / f"{name}.yaml").read_text(encoding="utf-8")
+        assert loads_scenario(text) == get_scenario(name)
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_load_scenario_returns_a_ready_config(self, name):
+        config = load_scenario(SCENARIO_DIR / f"{name}.yaml")
+        assert config.scenario == name
+
+
+class TestScenarioFileValidation:
+    def test_missing_scenario_section_is_rejected(self):
+        with pytest.raises(ScenarioFileError, match="missing the 'scenario' section"):
+            loads_scenario('{"format": "repro-scenario/v1"}')
+
+    def test_unsupported_format_is_rejected(self):
+        with pytest.raises(ScenarioFileError, match="unsupported format"):
+            loads_scenario('{"format": "repro-scenario/v9", "scenario": {}}')
+
+    def test_unknown_run_override_is_rejected(self, tmp_path):
+        path = tmp_path / "bad_run.json"
+        dump_scenario(generate_scenario(3, TIGHT), path, run={"seed": 5})
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["run"]["bogus_knob"] = 1
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(ScenarioFileError, match="bogus_knob"):
+            load_scenario(path)
+
+    def test_run_overrides_reach_the_config(self, tmp_path):
+        path = tmp_path / "overrides.json"
+        dump_scenario(generate_scenario(4, TIGHT), path, run={"seed": 23, "clients": 9})
+        config = load_scenario(path)
+        assert config.seed == 23
+        assert config.clients == 9
+
+    def test_registered_name_refuses_a_different_definition(self, tmp_path):
+        changed = generate_scenario(5, TIGHT)
+        imposter = scenario_to_dict(changed)
+        imposter["name"] = "rubis"
+        path = tmp_path / "imposter.json"
+        path.write_text(
+            json.dumps({"format": "repro-scenario/v1", "scenario": imposter}),
+            encoding="utf-8",
+        )
+        with pytest.raises(ScenarioFileError, match="already registered"):
+            load_scenario(path)
+
+    def test_unknown_spec_field_names_its_context(self):
+        scenario = generate_scenario(6, TIGHT)
+        payload = scenario_to_dict(scenario)
+        payload["workload"]["warp_factor"] = 9
+        with pytest.raises(ScenarioFileError, match="warp_factor"):
+            scenario_from_dict(payload)

@@ -10,6 +10,7 @@ from repro.core.latency import LatencyBreakdown, breakdown_for_cag
 from repro.core.log_format import RawRecord, format_record, parse_record
 from repro.core.patterns import cag_signature
 from repro.sim.network import SegmentationPolicy
+from repro.topology.generator import entity_exclusive_step
 
 COMMON = dict(
     deadline=None,
@@ -105,9 +106,9 @@ class TestCorrelationProperties:
         # no tracer can untangle two requests interleaved in one thread),
         # so pick the intra-request step small enough that a request ends
         # before the same worker's next one begins, while still letting
-        # requests in *different* contexts overlap freely.
-        duration_steps = 6 + 4 * queries
-        step = min(0.001, 3 * spacing / duration_steps * 0.9)
+        # requests in *different* contexts overlap freely.  The validity
+        # rule is shared with the scenario generator.
+        step = entity_exclusive_step(spacing, queries)
         for index in range(requests):
             trace.three_tier_request(
                 request_id=index + 1,

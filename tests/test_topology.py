@@ -86,6 +86,19 @@ class TestTopologySpecValidation:
         with pytest.raises(TopologyError, match="used twice"):
             topology(backend(), worker(ip="10.9.0.3", port=3306), frontend())
 
+    def test_expanded_replica_hostnames_must_be_unique(self):
+        # Replica hostnames append the replica index to the tier name, so
+        # a tier "app" x2 expands to hosts app1/app2 and collides with a
+        # literal tier named "app2": its logs would be attributed to the
+        # wrong tier and the paths silently truncate (fuzz seed 24).
+        with pytest.raises(TopologyError, match="hostname 'app2' used twice"):
+            topology(
+                backend(),
+                worker(name="app", replicas=2),
+                worker(name="app2", ip="10.9.0.4", port=8081),
+                frontend(downstream=("app2",)),
+            )
+
     def test_frontend_cannot_be_replicated(self):
         with pytest.raises(TopologyError, match="single entry point"):
             topology(backend(), worker(), frontend(replicas=2))
