@@ -131,7 +131,9 @@ class NestingResult:
                 node.return_receive,
             ):
                 if activity is not None:
-                    contexts.add(activity.context_key)
+                    # Raw tuples, not interned keys: the comparison is
+                    # against the ground-truth oracle's context sets.
+                    contexts.add(activity.context.as_tuple())
             stack.extend(children.get(id(node), []))
         return contexts
 
@@ -178,7 +180,7 @@ def _pair_calls(activities: Sequence[Activity]) -> List[CallPair]:
 
 def _is_reverse(call: CallPair, send: Activity) -> bool:
     """Is ``send`` traffic in the opposite direction of ``call``'s request?"""
-    return send.message_key == call.call_send.message.reversed_key()
+    return send.message.connection_key() == call.call_send.message.reversed_key()
 
 
 def nesting_algorithm(activities: Sequence[Activity]) -> NestingResult:

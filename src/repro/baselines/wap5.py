@@ -52,7 +52,9 @@ class Wap5Path:
         }
 
     def contexts(self) -> Set[Tuple[str, str, int, int]]:
-        return {activity.context_key for activity in self.activities}
+        # Raw tuples, not interned keys: scoring compares against the
+        # ground-truth oracle's context sets.
+        return {activity.context.as_tuple() for activity in self.activities}
 
 
 class Wap5Tracer:

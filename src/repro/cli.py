@@ -174,7 +174,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     trace_parser = subparsers.add_parser("trace", help="run one experiment and trace it")
     trace_parser.add_argument("--clients", type=int, default=200)
-    trace_parser.add_argument("--workload", choices=["browse_only", "default"], default="browse_only")
+    trace_parser.add_argument(
+        "--workload", choices=["browse_only", "default"], default="browse_only"
+    )
     trace_parser.add_argument("--max-threads", type=int, default=40)
     trace_parser.add_argument("--window", type=float, default=0.010)
     trace_parser.add_argument("--clock-skew", type=float, default=0.001)
@@ -291,7 +293,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     profile_parser.add_argument(
         "--figure",
-        choices=["fig9", "fig11s", "sampling"],
+        choices=["fig9", "fig11s", "sampling", "interning"],
         default="fig9",
         help="which performance figure to regenerate (default: fig9)",
     )
@@ -706,12 +708,18 @@ def _command_profile(args: argparse.Namespace, scale) -> int:
         load_bench_result,
         write_bench_result,
     )
-    from .experiments.figures import figure9, figure11_streaming, figure_sampling
+    from .experiments.figures import (
+        figure9,
+        figure11_streaming,
+        figure_interning,
+        figure_sampling,
+    )
 
     generators = {
         "fig9": figure9,
         "fig11s": figure11_streaming,
         "sampling": figure_sampling,
+        "interning": figure_interning,
     }
     result = generators[args.figure](scale)
     print(render_table(result))

@@ -174,8 +174,15 @@ class Activity:
     step, so they are computed once at construction and stored as plain
     slot attributes instead of being re-derived through properties --
     together with ``__slots__`` this is a large share of the correlation
-    hot-path speedup.  They are derived from the immutable ``context`` /
-    ``message`` identifiers and excluded from equality.
+    hot-path speedup.  Each key is the *interned dense int* assigned by
+    :data:`repro.core.interning.INTERNER` for the underlying tuple /
+    hostname identity: interning is injective and first-seen ordered, so
+    every dict keyed by these attributes behaves exactly as with tuple
+    keys, but hashes a machine int instead of a tuple of strings.  Code
+    that needs the original identity (digests, sampling, cross-process
+    export) resolves it from the immutable ``context`` / ``message``
+    identifiers -- never from the ints, which are one process's ingest
+    artefact.  All derived keys are excluded from equality.
     """
 
     type: ActivityType
@@ -189,30 +196,42 @@ class Activity:
     # as the logged message size and is adjusted as parts are merged.
     size: int = field(default=-1)
 
-    #: Key used by the ``cmap`` (adjacent-context matching).
-    context_key: Tuple[str, str, int, int] = field(init=False, repr=False, compare=False)
-    #: Key used by the ``mmap`` (message matching).  SEND activities are
-    #: stored under their own direction; a RECEIVE looks up the *same*
-    #: direction (the sender's ip:port still appears first in the
-    #: receiver's log record), so both sides share one key.
-    message_key: Tuple[str, int, str, int] = field(init=False, repr=False, compare=False)
-    #: Which ranker queue this activity belongs to.  The paper groups
-    #: activities "according to the IP addresses of the context
-    #: identifiers"; activities observed on one node share one local clock
-    #: and therefore one queue.  We use the hostname, which identifies the
-    #: node just as well as its IP.
-    node_key: str = field(init=False, repr=False, compare=False)
+    #: Interned key used by the ``cmap`` (adjacent-context matching);
+    #: resolve the raw 4-tuple via ``context.as_tuple()``.
+    context_key: int = field(init=False, repr=False, compare=False)
+    #: Interned key used by the ``mmap`` (message matching).  SEND
+    #: activities are stored under their own direction; a RECEIVE looks up
+    #: the *same* direction (the sender's ip:port still appears first in
+    #: the receiver's log record), so both sides share one key.  Resolve
+    #: the raw 4-tuple via ``message.connection_key()``.
+    message_key: int = field(init=False, repr=False, compare=False)
+    #: Interned key of the ranker queue this activity belongs to.  The
+    #: paper groups activities "according to the IP addresses of the
+    #: context identifiers"; activities observed on one node share one
+    #: local clock and therefore one queue.  We intern the hostname, which
+    #: identifies the node just as well as its IP.
+    node_key: int = field(init=False, repr=False, compare=False)
     #: Rule 2 priority (smaller is delivered earlier).
     priority: int = field(init=False, repr=False, compare=False)
     #: Cached ``type.is_send_like`` (True for SEND and END).
     send_like: bool = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
+        context = self.context
+        message = self.message
         if self.size < 0:
-            self.size = self.message.size
-        self.context_key = self.context.as_tuple()
-        self.message_key = self.message.connection_key()
-        self.node_key = self.context.hostname
+            self.size = message.size
+        # Inline fast path: already-interned keys (the overwhelmingly
+        # common case past the first few activities) are one dict get;
+        # only misses take the interner's lock.
+        ckey = _context_ids.get(context.as_tuple())
+        self.context_key = ckey if ckey is not None else _intern_context(context)
+        mkey = _message_ids.get(message.connection_key())
+        self.message_key = (
+            mkey if mkey is not None else _intern_message_key(message.connection_key())
+        )
+        nkey = _node_ids.get(context.hostname)
+        self.node_key = nkey if nkey is not None else _intern_node(context.hostname)
         self.priority = int(self.type)
         self.send_like = self.type is ActivityType.SEND or self.type is ActivityType.END
 
@@ -257,3 +276,20 @@ class Activity:
 #: with :func:`operator.attrgetter` so per-node sorting (the paper's step
 #: 1, run over every activity) extracts the key tuple in C.
 sort_key = operator.attrgetter("timestamp", "priority", "seq")
+
+
+# Interned-key plumbing, imported at the bottom to break the module
+# cycle (interning.py materialises ContextId/MessageId lazily from this
+# module).  ``__post_init__`` resolves these names as module globals at
+# call time, so binding them after the class definitions is safe.  The
+# direct dict references save an attribute hop on the hit path; they
+# stay valid because ``KeyInterner`` only ever mutates its maps in
+# place (append-only), never rebinds them.
+from .interning import INTERNER  # noqa: E402
+
+_context_ids = INTERNER._context_ids
+_message_ids = INTERNER._message_ids
+_node_ids = INTERNER._node_ids
+_intern_context = INTERNER.intern_context
+_intern_message_key = INTERNER.intern_message_key
+_intern_node = INTERNER.intern_node

@@ -72,10 +72,15 @@ class CAG:
         self.cag_id: int = cag_id if cag_id is not None else next(_cag_counter)
         self.root: Activity = root
         self._vertices: List[Activity] = [root]
-        self._vertex_ids: Set[int] = {id(root)}
         self._edges: List[Edge] = []
+        # ``_parents`` doubles as the vertex-membership set: every vertex
+        # has an entry (the root's is empty), so no separate id set is
+        # kept.  The children adjacency is derived: it is only read by
+        # analysis (topological order, deformity checks), never by the
+        # correlation hot path, so it is rebuilt lazily from ``_edges``
+        # on first use and invalidated by every structural mutation.
         self._parents: Dict[int, List[Edge]] = {id(root): []}
-        self._children: Dict[int, List[Edge]] = {id(root): []}
+        self._children_cache: Optional[Dict[int, List[Edge]]] = None
         self.finished: bool = False
         #: Local timestamp of the newest activity attributed to this CAG,
         #: maintained incrementally so streaming eviction never has to
@@ -92,12 +97,11 @@ class CAG:
         if self.finished:
             raise CAGError("cannot add vertices to a finished CAG")
         vertex_id = id(activity)
-        if vertex_id in self._vertex_ids:
+        if vertex_id in self._parents:
             raise CAGError("activity already present in CAG")
         self._vertices.append(activity)
-        self._vertex_ids.add(vertex_id)
         self._parents[vertex_id] = []
-        self._children[vertex_id] = []
+        self._children_cache = None
         if activity.timestamp > self.newest_timestamp:
             self.newest_timestamp = activity.timestamp
 
@@ -113,15 +117,15 @@ class CAG:
             raise CAGError(f"unknown edge kind {kind!r}")
         parent_id = id(parent)
         child_id = id(child)
-        vertex_ids = self._vertex_ids
-        if parent_id not in vertex_ids:
+        parents = self._parents
+        if parent_id not in parents:
             raise CAGError("edge parent is not a vertex of this CAG")
-        if child_id not in vertex_ids:
+        if child_id not in parents:
             raise CAGError("edge child is not a vertex of this CAG")
         if parent is child:
             raise CAGError("self edges are not allowed")
 
-        existing = self._parents[child_id]
+        existing = parents[child_id]
         if existing:
             if len(existing) >= 2:
                 raise CAGError("a vertex may have at most two parents")
@@ -135,7 +139,7 @@ class CAG:
         edge = Edge(parent=parent, child=child, kind=kind)
         self._edges.append(edge)
         existing.append(edge)
-        self._children[parent_id].append(edge)
+        self._children_cache = None
         return edge
 
     def append(self, activity: Activity, parent: Activity, kind: str) -> Edge:
@@ -150,21 +154,26 @@ class CAG:
         """
         if self.finished:
             raise CAGError("cannot add vertices to a finished CAG")
-        if kind not in (CONTEXT_EDGE, MESSAGE_EDGE):
+        # The engine always passes the module constants, so the identity
+        # checks are the hot path; the equality fallback keeps equal
+        # strings from other modules working.
+        if (
+            kind is not CONTEXT_EDGE
+            and kind is not MESSAGE_EDGE
+            and kind not in (CONTEXT_EDGE, MESSAGE_EDGE)
+        ):
             raise CAGError(f"unknown edge kind {kind!r}")
+        parents = self._parents
         vertex_id = id(activity)
-        if vertex_id in self._vertex_ids:
+        if vertex_id in parents:
             raise CAGError("activity already present in CAG")
-        parent_id = id(parent)
-        if parent_id not in self._vertex_ids:
+        if id(parent) not in parents:
             raise CAGError("edge parent is not a vertex of this CAG")
         self._vertices.append(activity)
-        self._vertex_ids.add(vertex_id)
         edge = Edge(parent=parent, child=activity, kind=kind)
-        self._parents[vertex_id] = [edge]
-        self._children[vertex_id] = []
+        parents[vertex_id] = [edge]
         self._edges.append(edge)
-        self._children[parent_id].append(edge)
+        self._children_cache = None
         if activity.timestamp > self.newest_timestamp:
             self.newest_timestamp = activity.timestamp
         return edge
@@ -181,7 +190,7 @@ class CAG:
         activity was chained: inserting at the timestamp position keeps
         the context chain independent of the delivery interleaving.
         """
-        if id(vertex) not in self._vertex_ids:
+        if id(vertex) not in self._parents:
             raise CAGError("splice vertex is not a vertex of this CAG")
         for edge in self._parents.get(id(vertex), []):
             if edge.kind == CONTEXT_EDGE:
@@ -195,7 +204,7 @@ class CAG:
             raise CAGError("no context edge between the given vertices")
         self._edges.remove(removed)
         self._parents[id(after)].remove(removed)
-        self._children[id(before)].remove(removed)
+        self._children_cache = None
         self.add_edge(before, vertex, CONTEXT_EDGE)
         self.add_edge(vertex, after, CONTEXT_EDGE)
 
@@ -217,11 +226,12 @@ class CAG:
     # -- serialisation -----------------------------------------------------
 
     def __getstate__(self) -> Dict[str, object]:
-        """Pickle support: the adjacency maps are keyed by ``id(vertex)``,
+        """Pickle support: the parents map is keyed by ``id(vertex)``,
         which does not survive a pickle round trip (unpickled vertices get
-        new ids).  Serialise them keyed by vertex *position* instead; the
+        new ids).  Serialise it keyed by vertex *position* instead; the
         process-pool sharded correlator ships CAGs across process
-        boundaries and relies on this."""
+        boundaries and relies on this.  The children adjacency is not
+        serialised at all -- it is derived from ``_edges`` on demand."""
         index = {id(vertex): i for i, vertex in enumerate(self._vertices)}
         return {
             "cag_id": self.cag_id,
@@ -229,7 +239,6 @@ class CAG:
             "vertices": self._vertices,
             "edges": self._edges,
             "parents": {index[key]: edges for key, edges in self._parents.items()},
-            "children": {index[key]: edges for key, edges in self._children.items()},
             "finished": self.finished,
             "newest_timestamp": self.newest_timestamp,
         }
@@ -238,21 +247,18 @@ class CAG:
         self.cag_id = state["cag_id"]
         self.root = state["root"]
         self._vertices = state["vertices"]
-        self._vertex_ids = {id(vertex) for vertex in self._vertices}
         self._edges = state["edges"]
         self._parents = {
             id(self._vertices[i]): edges for i, edges in state["parents"].items()
         }
-        self._children = {
-            id(self._vertices[i]): edges for i, edges in state["children"].items()
-        }
+        self._children_cache = None
         self.finished = state["finished"]
         self.newest_timestamp = state["newest_timestamp"]
 
     # -- queries -----------------------------------------------------------
 
     def __contains__(self, activity: Activity) -> bool:
-        return id(activity) in self._vertex_ids
+        return id(activity) in self._parents
 
     def __len__(self) -> int:
         return len(self._vertices)
@@ -265,11 +271,22 @@ class CAG:
     def edges(self) -> Sequence[Edge]:
         return tuple(self._edges)
 
+    def _children_map(self) -> Dict[int, List[Edge]]:
+        """The derived children adjacency, rebuilt lazily from the edge
+        list (analysis-only; the correlation hot path never reads it)."""
+        children = self._children_cache
+        if children is None:
+            children = {id(vertex): [] for vertex in self._vertices}
+            for edge in self._edges:
+                children[id(edge.parent)].append(edge)
+            self._children_cache = children
+        return children
+
     def parents_of(self, activity: Activity) -> List[Edge]:
         return list(self._parents.get(id(activity), []))
 
     def children_of(self, activity: Activity) -> List[Edge]:
-        return list(self._children.get(id(activity), []))
+        return list(self._children_map().get(id(activity), []))
 
     def context_parent(self, activity: Activity) -> Optional[Activity]:
         for edge in self._parents.get(id(activity), []):
@@ -321,12 +338,14 @@ class CAG:
         return seen
 
     def contexts(self) -> List[Tuple[str, str, int, int]]:
-        """Distinct execution entities in first-seen order."""
+        """Distinct execution entities (raw 4-tuples) in first-seen order."""
         seen: List[Tuple[str, str, int, int]] = []
+        seen_keys: Set[int] = set()
         for activity in self._vertices:
             key = activity.context_key
-            if key not in seen:
-                seen.append(key)
+            if key not in seen_keys:
+                seen_keys.add(key)
+                seen.append(activity.context.as_tuple())
         return seen
 
     def request_ids(self) -> Set[int]:
@@ -362,13 +381,14 @@ class CAG:
             key = lambda v: order_index[id(v)]  # noqa: E731
         else:
             key = lambda v: (tie_key(v), order_index[id(v)])  # noqa: E731
+        children = self._children_map()
         ready = [vertex for vertex in self._vertices if indegree[id(vertex)] == 0]
         ready.sort(key=key)
         result: List[Activity] = []
         while ready:
             vertex = ready.pop(0)
             result.append(vertex)
-            for edge in self._children[id(vertex)]:
+            for edge in children[id(vertex)]:
                 indegree[id(edge.child)] -= 1
                 if indegree[id(edge.child)] == 0:
                     ready.append(edge.child)

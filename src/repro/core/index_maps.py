@@ -33,14 +33,20 @@ from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
 from .activity import Activity
 
-MessageKey = Tuple[str, int, str, int]
-ContextKey = Tuple[str, str, int, int]
+#: Interned message key: the dense int INTERNER assigned to a directional
+#: connection 4-tuple (see :mod:`repro.core.interning`).  Both maps are
+#: keyed by the interned ints -- the engine and ranker probe them once
+#: per candidate, so the key hash is pure hot-path cost.
+MessageKey = int
+#: Interned context key (dense int for a context 4-tuple).
+ContextKey = int
 
 
 class MessageMap:
     """``mmap``: pending (not yet fully received) SEND activities.
 
-    Keys are directional connection 4-tuples; values are FIFO queues of
+    Keys are interned directional connection keys (``Activity.
+    message_key`` ints); values are FIFO queues of
     SEND activities whose bytes have not all been matched by RECEIVEs yet.
     The engine mutates ``Activity.size`` in place while matching, and pops
     the entry once the byte count reaches zero.

@@ -54,6 +54,7 @@ selected, a property the batch/streaming equivalence tests pin down.
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from collections import Counter, deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -61,7 +62,8 @@ from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 from .activity import Activity, ActivityType, sort_key
 from .index_maps import MessageMap
 
-MessageKey = Tuple[str, int, str, int]
+#: Interned message key (see :mod:`repro.core.interning`).
+MessageKey = int
 
 
 @dataclass
@@ -83,11 +85,17 @@ class ActivitySource:
     ``registry`` is the owning ranker's global future-send counter; the
     source keeps it in sync with its own per-source counter so the ranker
     can answer "any source still holds a SEND for this key?" in O(1).
+
+    Internally the stream is shadowed by two struct-like parallel lists
+    -- timestamps and (send-like only) interned message keys -- so the
+    per-``rank()`` window fetch is a :func:`bisect.bisect_right` over a
+    flat float list plus one slice, instead of an attribute-chasing loop
+    over activity objects.
     """
 
     def __init__(
         self,
-        node: str,
+        node,
         activities: Sequence[Activity],
         registry: Optional[Counter] = None,
     ) -> None:
@@ -95,13 +103,20 @@ class ActivitySource:
         self._activities: List[Activity] = sorted(activities, key=sort_key)
         self._position = 0
         self._registry = registry
+        # Columnar shadows of the sorted stream.  ``_ts`` is nondecreasing
+        # (the sort key leads with the timestamp), which is what lets
+        # ``take_until`` bisect.  ``_send_keys`` holds the interned message
+        # key for send-like rows and None otherwise, so the counter
+        # bookkeeping below never re-reads the activity objects.
+        self._ts: List[float] = [a.timestamp for a in self._activities]
+        self._send_keys: List[Optional[int]] = [
+            a.message_key if a.send_like else None for a in self._activities
+        ]
         # Message keys of send-like activities not yet fetched, kept as a
         # counter so the noise test stays O(1) per source instead of
         # rescanning the remaining stream for every RECEIVE head.
         self._future_send_keys: Counter = Counter(
-            activity.message_key
-            for activity in self._activities
-            if activity.send_like
+            key for key in self._send_keys if key is not None
         )
         if registry is not None:
             registry.update(self._future_send_keys)
@@ -109,7 +124,7 @@ class ActivitySource:
         #: exhausted).  A plain attribute so the ranker's refill loop can
         #: read it without a method call.
         self.next_timestamp: Optional[float] = (
-            self._activities[0].timestamp if self._activities else None
+            self._ts[0] if self._ts else None
         )
 
     def __len__(self) -> int:
@@ -123,32 +138,33 @@ class ActivitySource:
         return self.next_timestamp
 
     def take_until(self, limit: float) -> List[Activity]:
-        """Pop and return every remaining activity with timestamp <= limit."""
-        activities = self._activities
+        """Pop and return every remaining activity with timestamp <= limit.
+
+        ``_ts`` is nondecreasing, so the scan is one bisect over the flat
+        timestamp column followed by a slice -- the window fetch never
+        touches the activity objects themselves.
+        """
         position = self._position
-        end = len(activities)
-        start = position
-        while position < end and activities[position].timestamp <= limit:
-            position += 1
-        if position == start:
+        end = bisect_right(self._ts, limit, position)
+        if end == position:
             return []
-        taken = activities[start:position]
-        self._position = position
-        for activity in taken:
-            if activity.send_like:
-                self._discard_future_send(activity.message_key)
+        taken = self._activities[position:end]
+        self._position = end
+        self._discard_fetched_sends(position, end)
         self._sync_next_timestamp()
         return taken
 
     def take_one(self) -> Optional[Activity]:
         """Pop a single activity regardless of the window (used to make
         progress when the window is smaller than the inter-activity gap)."""
-        if self.exhausted:
+        position = self._position
+        if position >= len(self._activities):
             return None
-        activity = self._activities[self._position]
-        self._position += 1
-        if activity.send_like:
-            self._discard_future_send(activity.message_key)
+        activity = self._activities[position]
+        self._position = position + 1
+        key = self._send_keys[position]
+        if key is not None:
+            self._discard_future_send(key)
         self._sync_next_timestamp()
         return activity
 
@@ -166,29 +182,56 @@ class ActivitySource:
         along with it, so the byte balance can complete without waiting for
         the window to catch up.
         """
-        taken: List[Activity] = []
         if not self.has_future_send(key):
-            return taken
-        while not self.exhausted:
-            activity = self.take_one()
-            if activity is None:
-                break
-            taken.append(activity)
-            if activity.send_like and activity.message_key == key:
-                # pull the remaining consecutive parts of this send, if any
-                while not self.exhausted:
-                    following = self._activities[self._position]
-                    if not (following.send_like and following.message_key == key):
-                        break
-                    taken.append(self.take_one())
-                break
+            return []
+        # Scan the send-key column for the first matching send, then pull
+        # the consecutive same-key parts right behind it.
+        send_keys = self._send_keys
+        end = len(send_keys)
+        position = self._position
+        idx = position
+        while idx < end and send_keys[idx] != key:
+            idx += 1
+        if idx == end:  # defensive: counter said one exists
+            return []
+        idx += 1
+        while idx < end and send_keys[idx] == key:
+            idx += 1
+        taken = self._activities[position:idx]
+        self._position = idx
+        self._discard_fetched_sends(position, idx)
+        self._sync_next_timestamp()
         return taken
 
     def _sync_next_timestamp(self) -> None:
-        if self._position >= len(self._activities):
+        position = self._position
+        if position >= len(self._ts):
             self.next_timestamp = None
         else:
-            self.next_timestamp = self._activities[self._position].timestamp
+            self.next_timestamp = self._ts[position]
+
+    def _discard_fetched_sends(self, start: int, end: int) -> None:
+        """Counter bookkeeping for every send-like row in ``[start, end)``
+        (the inlined batch form of :meth:`_discard_future_send`, preserving
+        its pop-at-zero behaviour so counters never accumulate dead keys)."""
+        send_keys = self._send_keys
+        local = self._future_send_keys
+        registry = self._registry
+        for i in range(start, end):
+            key = send_keys[i]
+            if key is None:
+                continue
+            count = local.get(key, 0)
+            if count <= 1:
+                local.pop(key, None)
+            else:
+                local[key] = count - 1
+            if registry is not None:
+                count = registry.get(key, 0)
+                if count <= 1:
+                    registry.pop(key, None)
+                else:
+                    registry[key] = count - 1
 
     def _discard_future_send(self, key: MessageKey) -> None:
         """One send-like activity with ``key`` left the unfetched region."""
@@ -213,10 +256,14 @@ class Ranker:
     Parameters
     ----------
     sources:
-        Mapping from node name to the node's activity list (any order; the
+        Mapping from node key to the node's activity list (any order; the
         ranker sorts by local timestamp, which is the paper's step 1).
+        The node key is opaque to the ranker -- any hashable works; the
+        correlator passes the interned ``Activity.node_key`` ints.
     mmap:
-        The engine's message map, consulted by Rule 1 and ``is_noise``.
+        The engine's message map, consulted by Rule 1 and ``is_noise``
+        (through a direct reference to its pending dict: the probe is the
+        most frequent operation of the whole hot path).
     window:
         Size of the sliding time window in seconds.  Any positive value is
         legal; larger windows buffer more activities (more memory, more
@@ -234,6 +281,11 @@ class Ranker:
             raise ValueError("the sliding time window must be positive")
         self._window = window
         self._mmap = mmap
+        # Direct reference to the mmap's pending dict: Rule 1 and the
+        # noise test probe it once per RECEIVE head per selection round,
+        # so even the bound-method call is worth skipping.  Safe because
+        # MessageMap never rebinds ``_pending``.
+        self._mmap_pending = mmap._pending
         # Delivery ceiling (local-timestamp watermark).  The batch ranker
         # leaves it at +inf, which makes every check below a no-op.  The
         # streaming ranker (repro.stream) lowers it to the highest local
@@ -313,7 +365,8 @@ class Ranker:
         """
         ceiling = self.ceiling
         streaming = ceiling != math.inf
-        mmap = self._mmap
+        mmap_pending = self._mmap_pending
+        mmap_pending_get = mmap_pending.get
         queues = self._queues
         receive_type = ActivityType.RECEIVE
         window = self._window
@@ -351,7 +404,7 @@ class Ranker:
                 ts = head.timestamp
                 if ts < earliest_ts:
                     earliest_ts = ts
-                if head.type is receive_type and mmap.has_match(head.message_key):
+                if head.type is receive_type and mmap_pending_get(head.message_key):
                     if candidate is None or ts < candidate.timestamp:
                         candidate = head
                         candidate_node = node
@@ -664,7 +717,7 @@ class Ranker:
         if activity.type is not ActivityType.RECEIVE:
             return False
         key = activity.message_key
-        if self._mmap.has_match(key):
+        if self._mmap_pending.get(key):
             return False
         if key in self._buffered_send_index:
             return False

@@ -11,12 +11,16 @@ target, and EXPERIMENTS.md records the comparison.
 
 from __future__ import annotations
 
+import gc
+import tracemalloc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..baselines.project5 import nesting_algorithm
 from ..baselines.wap5 import Wap5Tracer
+from ..core.activity import Activity
 from ..core.debugging import LatencyProfile
+from ..core.interning import ActivityTable
 from ..services.faults import FaultConfig
 from ..services.noise import NoiseConfig
 from ..pipeline import (
@@ -858,6 +862,82 @@ def baseline_comparison(
     return result
 
 
+# ---------------------------------------------------------------------------
+# Columnar core -- object list vs ActivityTable memory
+# ---------------------------------------------------------------------------
+
+def _count_live_activities() -> int:
+    """Number of :class:`Activity` instances currently alive (gc scan)."""
+    return sum(1 for obj in gc.get_objects() if isinstance(obj, Activity))
+
+
+def figure_interning(
+    scale: Optional[ExperimentScale] = None, cache: Optional[RunCache] = None
+) -> FigureResult:
+    """Memory of the two activity representations, per client count.
+
+    For each trace the classified activities are held first as a plain
+    Python list of :class:`Activity` objects, then packed into a columnar
+    :class:`~repro.core.interning.ActivityTable` (the object list is
+    released).  ``tracemalloc`` reports the bytes each representation
+    retains; the gc scan reports how many ``Activity`` instances stay
+    alive -- the table keeps none until a row is materialised at the
+    CAG/export boundary, which is the point of the columnar core.
+    """
+    scale = scale or default_scale()
+    result = FigureResult(
+        figure_id="interning",
+        title="Activity storage: object list vs columnar ActivityTable",
+        columns=[
+            "clients",
+            "activities",
+            "object_kb",
+            "object_bytes_per_activity",
+            "object_live_activities",
+            "columnar_kb",
+            "columnar_bytes_per_activity",
+            "columnar_live_activities",
+            "retained_ratio",
+        ],
+        notes=(
+            "tracemalloc retained bytes of each representation built from "
+            "the same trace; live counts are Activity instances alive after "
+            "the build (gc scan)."
+        ),
+    )
+    for clients in scale.window_clients:
+        run = get_run(_base_config(scale, clients=clients), cache)
+        baseline_live = _count_live_activities()
+        gc.collect()
+        tracemalloc.start()
+        objects = run.activities()
+        gc.collect()
+        object_bytes, _ = tracemalloc.get_traced_memory()
+        object_live = _count_live_activities() - baseline_live
+        table = ActivityTable.from_activities(objects)
+        count = len(objects)
+        del objects
+        gc.collect()
+        columnar_bytes, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        columnar_live = _count_live_activities() - baseline_live
+        result.rows.append(
+            {
+                "clients": clients,
+                "activities": count,
+                "object_kb": round(object_bytes / 1024, 1),
+                "object_bytes_per_activity": round(object_bytes / count, 1),
+                "object_live_activities": object_live,
+                "columnar_kb": round(columnar_bytes / 1024, 1),
+                "columnar_bytes_per_activity": round(columnar_bytes / count, 1),
+                "columnar_live_activities": columnar_live,
+                "retained_ratio": round(object_bytes / columnar_bytes, 2),
+            }
+        )
+        del table
+    return result
+
+
 #: Every generator, keyed by figure id (used by the CLI and the docs).
 ALL_FIGURES = {
     "sec5.2": accuracy_table,
@@ -877,4 +957,5 @@ ALL_FIGURES = {
     "scenarios": scenario_accuracy,
     "sampling": figure_sampling,
     "fuzz": figure_fuzz,
+    "interning": figure_interning,
 }

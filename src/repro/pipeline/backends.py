@@ -32,6 +32,7 @@ from typing import Callable, Iterable, List, Optional
 from ..core.activity import Activity
 from ..core.cag import CAG
 from ..core.correlator import CorrelationResult, Correlator
+from ..core.interning import ActivityTable
 from ..core.tracer import TraceResult
 from ..sampling import SamplingSpec
 from ..stream import ShardedCorrelator, StreamingCorrelator
@@ -188,7 +189,15 @@ class BackendSpec:
         monitoring hook); the batch and sharded backends only know their
         CAGs after the full pass, so there it fires afterwards, in ranked
         order.
+
+        An :class:`~repro.core.interning.ActivityTable` is accepted
+        directly: its rows are rematerialized fresh for the run (the
+        engine consumes ``Activity.size`` in place while matching, so a
+        table's cached row view must never be what a correlator mutates
+        -- the same table can then back any number of runs).
         """
+        if isinstance(activities, ActivityTable):
+            activities = activities.iter_fresh()
         correlator = self.make_correlator()
         if self.kind == "streaming" and on_cag is not None:
             engine = correlator.make_engine()

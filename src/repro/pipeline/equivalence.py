@@ -36,11 +36,16 @@ from .sources import Source, as_source
 
 
 def _fingerprint(activity) -> Tuple:
-    """Identity of one vertex: everything the paper logs about it."""
+    """Identity of one vertex: everything the paper logs about it.
+
+    Built from the original string/tuple identity (never the interned
+    ``context_key`` int, which is a per-process ingest artefact) so the
+    golden digests stay byte-identical across runs and refactors.
+    """
     return (
         activity.type.name,
         round(activity.timestamp, 9),
-        activity.context_key,
+        activity.context.as_tuple(),
         activity.message.connection_key(),
         activity.size,
     )

@@ -50,8 +50,18 @@ def root_key(activity) -> RootKey:
     The timestamp is rounded to nanoseconds -- the same canonical
     precision :func:`repro.pipeline.result_digest` fingerprints with --
     so clones and pickle round trips key identically.
+
+    Deliberately built from the *original* string/tuple identity, not
+    the interned ``context_key``/``message_key`` ints: interned ids are
+    an artefact of one process's ingest order, and the sampled subset
+    must be a property of the trace alone (the determinism invariant in
+    the module docstring).
     """
-    return (activity.context_key, activity.message_key, round(activity.timestamp, 9))
+    return (
+        activity.context.as_tuple(),
+        activity.message.connection_key(),
+        round(activity.timestamp, 9),
+    )
 
 
 def root_position(activity, salt: int = 0) -> float:
@@ -192,9 +202,11 @@ def iter_roots(activities: Iterable) -> List:
     phantom may waste a slot in its second); and since every backend
     shares the frozen set, cross-backend equivalence is unaffected.
     """
-    by_context: Dict[tuple, List] = {}
+    by_context: Dict[int, List] = {}
     for activity in activities:
         # BEGIN has Rule-2 priority 0; everything else breaks a run.
+        # Grouping by the interned context key is equivalent to grouping
+        # by the raw tuple (interning is injective).
         by_context.setdefault(activity.context_key, []).append(activity)
 
     roots: List = []

@@ -132,7 +132,9 @@ class TraceCollector:
     def __init__(self) -> None:
         self._probes: List[TcpTraceProbe] = []
 
-    def attach(self, node: Node, overhead_per_activity: float = DEFAULT_PROBE_OVERHEAD) -> TcpTraceProbe:
+    def attach(
+        self, node: Node, overhead_per_activity: float = DEFAULT_PROBE_OVERHEAD
+    ) -> TcpTraceProbe:
         """Install a probe on ``node`` and track it."""
         probe = TcpTraceProbe(node=node, overhead_per_activity=overhead_per_activity)
         self._probes.append(probe)

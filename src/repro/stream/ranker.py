@@ -48,20 +48,30 @@ class GrowingSource(ActivitySource):
     at the consumption point (it cannot be sequenced earlier any more).
     """
 
-    def __init__(self, node: str, registry: Optional[Counter] = None) -> None:
+    def __init__(self, node, registry: Optional[Counter] = None) -> None:
         super().__init__(node, [], registry=registry)
         self._sort_keys: List[tuple] = []
         self._frontier: Optional[float] = None
 
     def extend(self, activities: Iterable[Activity]) -> None:
-        """Add newly-ingested activities to the unconsumed tail."""
+        """Add newly-ingested activities to the unconsumed tail.
+
+        The batch source's columnar shadows (``_ts``, ``_send_keys``) are
+        maintained in lockstep with the activity list -- its bisecting
+        ``take_until`` and send-key bookkeeping read only those columns.
+        """
         self._trim_consumed()
         registry = self._registry
+        ts_column = self._ts
+        send_keys = self._send_keys
         for activity in sorted(activities, key=sort_key):
             key = sort_key(activity)
+            send_key = activity.message_key if activity.send_like else None
             if not self._sort_keys or key >= self._sort_keys[-1]:
                 self._activities.append(activity)
                 self._sort_keys.append(key)
+                ts_column.append(activity.timestamp)
+                send_keys.append(send_key)
             else:
                 index = max(
                     self._position,
@@ -69,10 +79,12 @@ class GrowingSource(ActivitySource):
                 )
                 self._activities.insert(index, activity)
                 self._sort_keys.insert(index, key)
-            if activity.send_like:
-                self._future_send_keys[activity.message_key] += 1
+                ts_column.insert(index, activity.timestamp)
+                send_keys.insert(index, send_key)
+            if send_key is not None:
+                self._future_send_keys[send_key] += 1
                 if registry is not None:
-                    registry[activity.message_key] += 1
+                    registry[send_key] += 1
             if self._frontier is None or activity.timestamp > self._frontier:
                 self._frontier = activity.timestamp
         self._sync_next_timestamp()
@@ -88,6 +100,8 @@ class GrowingSource(ActivitySource):
         if self._position:
             del self._activities[: self._position]
             del self._sort_keys[: self._position]
+            del self._ts[: self._position]
+            del self._send_keys[: self._position]
             self._position = 0
 
 
@@ -135,7 +149,7 @@ class StreamingRanker(Ranker):
         the advanced watermark makes decidable.
         """
         count = 0
-        per_node: Dict[str, List[Activity]] = {}
+        per_node: Dict[int, List[Activity]] = {}
         for activity in activities:
             per_node.setdefault(activity.node_key, []).append(activity)
             count += 1

@@ -47,6 +47,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 from ..core.activity import Activity, sort_key
 from ..core.correlator import CorrelationResult, Correlator
 from ..core.engine import EngineStats
+from ..core.interning import INTERNER
 from ..core.ranker import RankerStats
 
 
@@ -99,8 +100,9 @@ def partition_activities(
     ordered = list(activities)
     # Build each activity's graph keys once and reuse them for the find
     # pass -- tuple construction is the dominant cost of partitioning a
-    # large trace, and ``context_key`` is already cached on the activity.
-    ctx_keys: List[Tuple[str, Tuple[str, str, int, int]]] = []
+    # large trace, and ``context_key`` is the interned int already cached
+    # on the activity.
+    ctx_keys: List[Tuple[str, int]] = []
     for activity in ordered:
         ctx = ("ctx", activity.context_key)
         ctx_keys.append(ctx)
@@ -188,6 +190,7 @@ def _correlate_shard(
     sampling,
     decisions,
     shard: Sequence[Activity],
+    interner_snapshot=None,
 ) -> CorrelationResult:
     """Correlate one shard (module-level so process pools can pickle it).
 
@@ -195,7 +198,19 @@ def _correlate_shard(
     its whole-trace frozen decision set: the spec is a frozen dataclass
     and the decisions a frozenset of key tuples, so both cross the
     pickle boundary to process-pool workers unchanged.
+
+    ``interner_snapshot`` rebuilds the parent's key space in a worker
+    process before the shard is touched: unpickled activities carry the
+    parent's interned ``context_key``/``message_key``/``node_key`` ints
+    verbatim (slots dataclasses do not re-run ``__post_init__``), so the
+    worker's interner must assign the identical ids -- otherwise any
+    activity *constructed* in the worker (none today, but nothing should
+    rely on that) would live in a conflicting key space.  With the fork
+    start method the child inherits the parent's interner and the
+    install degenerates to a no-op; spawn starts need it.
     """
+    if interner_snapshot is not None:
+        INTERNER.install(interner_snapshot)
     return Correlator(
         window=window, sampling=sampling, sampling_decisions=decisions
     ).correlate(shard)
@@ -288,6 +303,11 @@ class ShardedCorrelator:
             ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
         )
         count = len(shards)
+        # Thread workers share the process interner already; process
+        # workers get a snapshot so they rebuild the identical key space
+        # (see _correlate_shard).  Taken after partitioning, so every key
+        # of every shard is covered.
+        snapshot = INTERNER.snapshot() if self.executor == "process" else None
         with pool_cls(max_workers=self.max_workers) as pool:
             parts = list(
                 pool.map(
@@ -296,6 +316,7 @@ class ShardedCorrelator:
                     [self.sampling] * count,
                     [decisions] * count,
                     shards,
+                    [snapshot] * count,
                 )
             )
         elapsed = time.perf_counter() - start

@@ -8,6 +8,7 @@ from repro.core.activity import (
     RULE2_PRIORITY,
     sort_key,
 )
+from repro.core.interning import INTERNER
 
 
 def make_activity(activity_type=ActivityType.SEND, timestamp=1.0, size=100, port=5000):
@@ -106,17 +107,30 @@ class TestActivity:
         )
         assert activity.size == 42
 
-    def test_message_key_matches_connection_key(self):
+    def test_message_key_is_interned_connection_key(self):
         activity = make_activity()
-        assert activity.message_key == activity.message.connection_key()
+        assert isinstance(activity.message_key, int)
+        resolved = INTERNER.resolve_message_key(activity.message_key)
+        assert resolved == activity.message.connection_key()
 
     def test_context_key_and_component(self):
         activity = make_activity()
-        assert activity.context_key == ("node1", "httpd", 10, 11)
+        assert isinstance(activity.context_key, int)
+        resolved = INTERNER.resolve_context_key(activity.context_key)
+        assert resolved == ("node1", "httpd", 10, 11)
         assert activity.component == ("node1", "httpd")
 
-    def test_node_key_is_hostname(self):
-        assert make_activity().node_key == "node1"
+    def test_node_key_is_interned_hostname(self):
+        activity = make_activity()
+        assert isinstance(activity.node_key, int)
+        assert INTERNER.resolve_node(activity.node_key) == "node1"
+
+    def test_equal_identities_share_interned_keys(self):
+        first = make_activity()
+        second = make_activity()
+        assert first.context_key == second.context_key
+        assert first.message_key == second.message_key
+        assert first.node_key == second.node_key
 
     def test_priority_follows_type(self):
         assert make_activity(ActivityType.BEGIN).priority == 0

@@ -99,7 +99,9 @@ class TestIncompleteTraces:
     def test_missing_end_leaves_cag_open(self):
         trace = build_trace(requests=3)
         # drop the END of the last request (simulated activity loss)
-        activities = [a for a in trace.activities if not (a.request_id == 3 and a.type.name == "END")]
+        activities = [
+            a for a in trace.activities if not (a.request_id == 3 and a.type.name == "END")
+        ]
         result = Correlator(window=0.01).correlate(activities)
         assert result.completed_requests == 2
         assert len(result.incomplete_cags) == 1

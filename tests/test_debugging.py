@@ -18,7 +18,13 @@ def profile(name, segments):
 
 REFERENCE = profile(
     "normal",
-    {"httpd2httpd": 0.01, "httpd2java": 0.01, "java2java": 0.03, "java2mysqld": 0.10, "mysqld2mysqld": 0.05},
+    {
+        "httpd2httpd": 0.01,
+        "httpd2java": 0.01,
+        "java2java": 0.03,
+        "java2mysqld": 0.10,
+        "mysqld2mysqld": 0.05,
+    },
 )
 
 
@@ -44,7 +50,13 @@ class TestCompareAndDiagnose:
     def test_compare_orders_by_growth(self):
         observed = profile(
             "faulty",
-            {"httpd2httpd": 0.01, "httpd2java": 0.01, "java2java": 0.30, "java2mysqld": 0.10, "mysqld2mysqld": 0.05},
+            {
+                "httpd2httpd": 0.01,
+                "httpd2java": 0.01,
+                "java2java": 0.30,
+                "java2mysqld": 0.10,
+                "mysqld2mysqld": 0.05,
+            },
         )
         changes = compare_profiles(REFERENCE, observed)
         assert changes[0].label == "java2java"
@@ -53,7 +65,13 @@ class TestCompareAndDiagnose:
     def test_diagnose_flags_only_large_changes(self):
         observed = profile(
             "faulty",
-            {"httpd2httpd": 0.01, "httpd2java": 0.01, "java2java": 0.30, "java2mysqld": 0.10, "mysqld2mysqld": 0.05},
+            {
+                "httpd2httpd": 0.01,
+                "httpd2java": 0.01,
+                "java2java": 0.30,
+                "java2mysqld": 0.10,
+                "mysqld2mysqld": 0.05,
+            },
         )
         result = diagnose(REFERENCE, observed, threshold=10.0)
         assert result.has_anomaly
@@ -70,7 +88,13 @@ class TestCompareAndDiagnose:
     def test_diagnose_interaction_implicates_both_components(self):
         observed = profile(
             "faulty",
-            {"httpd2httpd": 0.01, "httpd2java": 0.40, "java2java": 0.03, "java2mysqld": 0.10, "mysqld2mysqld": 0.05},
+            {
+                "httpd2httpd": 0.01,
+                "httpd2java": 0.40,
+                "java2java": 0.03,
+                "java2mysqld": 0.10,
+                "mysqld2mysqld": 0.05,
+            },
         )
         suspects = diagnose(REFERENCE, observed, threshold=10.0).suspected_components()
         assert set(suspects) >= {"httpd", "java"}
@@ -78,7 +102,13 @@ class TestCompareAndDiagnose:
     def test_report_lists_anomalous_segments(self):
         observed = profile(
             "faulty",
-            {"httpd2httpd": 0.01, "httpd2java": 0.01, "java2java": 0.03, "java2mysqld": 0.10, "mysqld2mysqld": 0.50},
+            {
+                "httpd2httpd": 0.01,
+                "httpd2java": 0.01,
+                "java2java": 0.03,
+                "java2mysqld": 0.10,
+                "mysqld2mysqld": 0.50,
+            },
         )
         report = diagnose(REFERENCE, observed, threshold=10.0).report()
         assert "mysqld2mysqld" in report

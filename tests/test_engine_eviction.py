@@ -17,6 +17,17 @@ kernel-part merging in two subtle ways:
 from repro.core.activity import Activity, ActivityType, ContextId, MessageId
 from repro.core.cag import SampledOutCAG
 from repro.core.engine import CorrelationEngine
+from repro.core.interning import INTERNER
+
+
+def mkey(connection):
+    """Interned mmap key for a raw connection 4-tuple."""
+    return INTERNER.intern_message_key(connection)
+
+
+def ckey(ctx):
+    """Interned cmap key for a ContextId."""
+    return INTERNER.intern_context_key(ctx.as_tuple())
 
 
 class _RejectAll:
@@ -80,8 +91,8 @@ class TestSegmentedEviction:
         assert engine.stats.evicted_mmap_entries == 1
         assert evicted >= 1
         assert engine._partial_receive == {}  # reclaimed with its SEND
-        assert not engine.mmap.has_match(CONN_KEY)
-        assert engine.mmap.has_match(other_key)  # fresh entry untouched
+        assert not engine.mmap.has_match(mkey(CONN_KEY))
+        assert engine.mmap.has_match(mkey(other_key))  # fresh entry untouched
         assert len(engine.open_cags) == 1  # the CAG itself is still live
 
         # the rest of the segmented RECEIVE now finds nothing: counted as
@@ -128,7 +139,7 @@ class TestSegmentedEviction:
         open_request(engine, begin_ts=3.0, request_id=2)
         new_send = act(ActivityType.SEND, 3.1, WEB_CTX, CONN_KEY, 80, 2)
         engine.process(new_send)
-        assert engine.mmap.match(CONN_KEY) is new_send  # never the ghost
+        assert engine.mmap.match(mkey(CONN_KEY)) is new_send  # never the ghost
         receive = act(
             ActivityType.RECEIVE,
             3.15,
@@ -138,7 +149,7 @@ class TestSegmentedEviction:
             2,
         )
         engine.process(receive)
-        assert not engine.mmap.has_match(CONN_KEY)  # fully matched
+        assert not engine.mmap.has_match(mkey(CONN_KEY))  # fully matched
         (cag,) = engine.open_cags
         assert cag.request_ids() == {2}
         assert engine._partial_receive == {}
@@ -158,13 +169,13 @@ class TestMergeRecency:
 
         (cag,) = engine.open_cags
         assert cag.newest_timestamp == 1.9
-        assert engine.cmap.recency(WEB_CTX.as_tuple()) == 1.9
+        assert engine.cmap.recency(ckey(WEB_CTX)) == 1.9
 
         # eviction between the parts' span must not touch the request
         engine.evict_stale(before=1.5)
         assert len(engine.open_cags) == 1
         assert engine.stats.evicted_open_cags == 0
-        assert engine.cmap.latest(WEB_CTX.as_tuple()) is begin
+        assert engine.cmap.latest(ckey(WEB_CTX)) is begin
 
     def test_send_part_merge_refreshes_recency(self):
         engine = CorrelationEngine()
@@ -176,7 +187,7 @@ class TestMergeRecency:
         assert engine.stats.merged_sends == 1
         (cag,) = engine.open_cags
         assert cag.newest_timestamp == 1.9
-        assert engine.cmap.recency(WEB_CTX.as_tuple()) == 1.9
+        assert engine.cmap.recency(ckey(WEB_CTX)) == 1.9
         engine.evict_stale(before=1.5)
         assert len(engine.open_cags) == 1
         # the pending SEND itself is evictable by its first-part timestamp
@@ -194,7 +205,7 @@ class TestMergeRecency:
         part = act(ActivityType.END, 1.9, WEB_CTX, CLIENT_KEY, 500, 1)
         engine.process(part)
         assert end.size == 2500  # merged into the finished END
-        assert engine.cmap.recency(WEB_CTX.as_tuple()) == 1.9
+        assert engine.cmap.recency(ckey(WEB_CTX)) == 1.9
 
 
 class TestSampledOutPurge:
@@ -224,7 +235,7 @@ class TestSampledOutPurge:
         assert isinstance(tombstone, SampledOutCAG)
         # the merge refreshed the recency structures, exactly as for a
         # traced request (the PR 2 bug class)
-        assert engine.cmap.recency(WEB_CTX.as_tuple()) == 1.9
+        assert engine.cmap.recency(ckey(WEB_CTX)) == 1.9
         assert tombstone.newest_timestamp == 1.9
 
     def test_completion_purges_cmap_and_mmap(self):
@@ -232,7 +243,7 @@ class TestSampledOutPurge:
         open_request(engine, begin_ts=1.0)
         send = act(ActivityType.SEND, 1.1, WEB_CTX, CONN_KEY, 100, 1)
         engine.process(send)
-        assert engine.mmap.has_match(CONN_KEY)  # pending, as in a full run
+        assert engine.mmap.has_match(mkey(CONN_KEY))  # pending, as in a full run
         end = act(ActivityType.END, 1.3, WEB_CTX, CLIENT_KEY, 2000, 1)
         finished = engine.process(end)
         assert finished is None  # tombstones are never emitted
@@ -241,7 +252,7 @@ class TestSampledOutPurge:
         assert engine.finished_cags == []
         # ContextMap/MessageMap recency structures purged with the request
         assert len(engine.cmap) == 0
-        assert engine.cmap.recency(WEB_CTX.as_tuple()) is None
+        assert engine.cmap.recency(ckey(WEB_CTX)) is None
         assert len(engine.mmap) == 0
         assert engine._owner == {}
         assert engine._partial_receive == {}
@@ -295,12 +306,12 @@ class TestSampledOutPurge:
         open_request(engine, begin_ts=1.0, request_id=1)  # sampled out
         end_one = act(ActivityType.END, 1.2, WEB_CTX, CLIENT_KEY, 500, 1)
         engine.process(end_one)
-        assert engine.cmap.recency(WEB_CTX.as_tuple()) is None  # purged
+        assert engine.cmap.recency(ckey(WEB_CTX)) is None  # purged
 
         begin_two = open_request(engine, begin_ts=2.0, request_id=2)  # traced
-        assert engine.cmap.latest(WEB_CTX.as_tuple()) is begin_two
+        assert engine.cmap.latest(ckey(WEB_CTX)) is begin_two
         end_two = act(ActivityType.END, 2.2, WEB_CTX, CLIENT_KEY, 700, 2)
         cag = engine.process(end_two)
         assert cag is not None and cag.request_ids() == {2}
         # the traced request's completion does not purge its context
-        assert engine.cmap.latest(WEB_CTX.as_tuple()) is end_two
+        assert engine.cmap.latest(ckey(WEB_CTX)) is end_two

@@ -108,7 +108,9 @@ class TestAverages:
 
     def test_percentage_table_shape(self):
         cags = self.make_cags(2)
-        table = percentage_table({"run_a": average_breakdown(cags), "run_b": breakdown_for_cag(cags[0])})
+        table = percentage_table(
+            {"run_a": average_breakdown(cags), "run_b": breakdown_for_cag(cags[0])}
+        )
         assert set(table) == {"run_a", "run_b"}
         labels_a = set(table["run_a"])
         labels_b = set(table["run_b"])
@@ -116,6 +118,8 @@ class TestAverages:
 
     def test_percentage_table_respects_explicit_labels(self):
         cags = self.make_cags(1)
-        table = percentage_table({"run": breakdown_for_cag(cags[0])}, labels=["httpd2java", "nonexistent"])
+        table = percentage_table(
+            {"run": breakdown_for_cag(cags[0])}, labels=["httpd2java", "nonexistent"]
+        )
         assert set(table["run"]) == {"httpd2java", "nonexistent"}
         assert table["run"]["nonexistent"] == 0.0

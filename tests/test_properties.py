@@ -55,7 +55,11 @@ class TestLogFormatProperties:
 
 
 class TestSegmentationProperties:
-    @given(size=st.integers(0, 10**6), sender=st.integers(1, 20_000), receiver=st.integers(1, 20_000))
+    @given(
+        size=st.integers(0, 10**6),
+        sender=st.integers(1, 20_000),
+        receiver=st.integers(1, 20_000),
+    )
     @settings(max_examples=200, **COMMON)
     def test_parts_conserve_bytes_and_respect_bounds(self, size, sender, receiver):
         policy = SegmentationPolicy(sender_max_bytes=sender, receiver_max_bytes=receiver)

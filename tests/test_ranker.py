@@ -9,7 +9,18 @@ from repro.core.index_maps import MessageMap
 from repro.core.ranker import ActivitySource, Ranker
 
 
-def act(activity_type, ts, host, program="p", pid=1, tid=1, src=("1.1.1.1", 10), dst=("2.2.2.2", 20), size=100, rid=None):
+def act(
+    activity_type,
+    ts,
+    host,
+    program="p",
+    pid=1,
+    tid=1,
+    src=("1.1.1.1", 10),
+    dst=("2.2.2.2", 20),
+    size=100,
+    rid=None,
+):
     return Activity(
         type=activity_type,
         timestamp=ts,
@@ -80,14 +91,19 @@ class TestRankerBasics:
         assert ranker.exhausted()
 
     def test_single_stream_is_delivered_in_timestamp_order(self):
-        activities = [act(ActivityType.SEND, t, "n", src=("1.1.1.1", t_i)) for t_i, t in enumerate((3.0, 1.0, 2.0))]
+        activities = [
+            act(ActivityType.SEND, t, "n", src=("1.1.1.1", t_i))
+            for t_i, t in enumerate((3.0, 1.0, 2.0))
+        ]
         ranker = Ranker({"n": activities}, MessageMap(), window=0.01)
         delivered = drain(ranker)
         assert [a.timestamp for a in delivered] == [1.0, 2.0, 3.0]
         assert ranker.stats.delivered == 3
 
     def test_window_smaller_than_gaps_still_progresses(self):
-        activities = [act(ActivityType.SEND, t, "n", src=("1.1.1.1", int(t))) for t in (0.0, 10.0, 20.0)]
+        activities = [
+            act(ActivityType.SEND, t, "n", src=("1.1.1.1", int(t))) for t in (0.0, 10.0, 20.0)
+        ]
         ranker = Ranker({"n": activities}, MessageMap(), window=0.001)
         assert len(drain(ranker)) == 3
 
@@ -172,10 +188,18 @@ class TestDisturbances:
         """The Fig. 6 case: both queue heads are RECEIVEs blocking each
         other's SENDs; the ranker must still deliver sends first."""
         # request 1: node1 sends to node2; request 2: node2 sends to node1
-        r_from_2 = act(ActivityType.RECEIVE, 1.0, "node1", pid=11, src=("10.0.0.2", 200), dst=("10.0.0.1", 100))
-        s_to_2 = act(ActivityType.SEND, 1.0001, "node1", pid=12, src=("10.0.0.1", 100), dst=("10.0.0.2", 200))
-        r_from_1 = act(ActivityType.RECEIVE, 1.0, "node2", pid=21, src=("10.0.0.1", 100), dst=("10.0.0.2", 200))
-        s_to_1 = act(ActivityType.SEND, 1.0001, "node2", pid=22, src=("10.0.0.2", 200), dst=("10.0.0.1", 100))
+        r_from_2 = act(
+            ActivityType.RECEIVE, 1.0, "node1", pid=11, src=("10.0.0.2", 200), dst=("10.0.0.1", 100)
+        )
+        s_to_2 = act(
+            ActivityType.SEND, 1.0001, "node1", pid=12, src=("10.0.0.1", 100), dst=("10.0.0.2", 200)
+        )
+        r_from_1 = act(
+            ActivityType.RECEIVE, 1.0, "node2", pid=21, src=("10.0.0.1", 100), dst=("10.0.0.2", 200)
+        )
+        s_to_1 = act(
+            ActivityType.SEND, 1.0001, "node2", pid=22, src=("10.0.0.2", 200), dst=("10.0.0.1", 100)
+        )
         engine = CorrelationEngine()
         ranker = Ranker(
             {"node1": [r_from_2, s_to_2], "node2": [r_from_1, s_to_1]},

@@ -50,7 +50,9 @@ class TestRunMechanics:
     def test_metrics_throughput_and_response_time(self, tiny_run):
         assert tiny_run.throughput > 0
         assert 0.05 < tiny_run.mean_response_time < 5.0
-        assert tiny_run.metrics.response_time_percentile(95) >= tiny_run.metrics.response_time_percentile(50)
+        assert tiny_run.metrics.response_time_percentile(
+            95
+        ) >= tiny_run.metrics.response_time_percentile(50)
 
 
 class TestTracingTheDeployment:

@@ -201,7 +201,9 @@ class TestScenarioRunnerIntegration:
         cache = RunCache()
         config = ScenarioConfig(scenario="cache_aside", stages=STAGES, seed=3, clients=20)
         first = cache.get(config)
-        second = cache.get(ScenarioConfig(scenario="cache_aside", stages=STAGES, seed=3, clients=20))
+        second = cache.get(
+            ScenarioConfig(scenario="cache_aside", stages=STAGES, seed=3, clients=20)
+        )
         assert first is second
         assert cache.hits == 1 and cache.misses == 1
 

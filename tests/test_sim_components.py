@@ -199,7 +199,9 @@ class TestNetwork:
 
     def test_send_receive_logs_on_traced_nodes_only(self):
         env = Environment()
-        network = Network(env, segmentation=SegmentationPolicy(sender_max_bytes=400, receiver_max_bytes=300))
+        network = Network(
+            env, segmentation=SegmentationPolicy(sender_max_bytes=400, receiver_max_bytes=300)
+        )
         server = Node(env, "server", "10.0.0.1")
         client = Node(env, "client", "10.9.0.1")  # untraced
         probe = TcpTraceProbe(node=server)

@@ -8,7 +8,9 @@ from repro.core.tracer import PreciseTracer
 
 
 def frontend():
-    return FrontendSpec(ip=WEB[1], port=80, internal_ips=frozenset({WEB[1], "10.1.0.2", "10.1.0.3"}))
+    return FrontendSpec(
+        ip=WEB[1], port=80, internal_ips=frozenset({WEB[1], "10.1.0.2", "10.1.0.3"})
+    )
 
 
 def raw_lines_from_trace(trace):
