@@ -1,0 +1,47 @@
+"""Scale-out figure: throughput vs shard count, executor and schedule.
+
+Runs :func:`repro.experiments.figures.figure_scaling` -- the same
+generator behind ``repro profile --figure scaling`` -- over a skewed
+four-scenario composite trace, emits ``BENCH_scaling.json``, and pins
+the claims the scheduler work makes:
+
+* the composite trace really is skewed (two dominant components);
+* cost-aware scheduling (balanced/stealing) beats the static
+  round-robin fold by >= 1.3x aggregate throughput at 4 shards, where
+  round-robin stacks both heavy components onto one slot;
+* the planned makespan of the LPT packing is never worse than the
+  static plan's (LPT is the better packer by construction).
+
+The committed baseline (``benchmarks/baselines/BENCH_scaling_baseline
+.json``) is gated separately in CI via ``repro.experiments.bench
+compare`` on the makespan column.
+"""
+
+from conftest import emit_bench, run_once
+from repro.experiments.figures import figure_scaling
+
+
+def test_bench_scaling(benchmark, scale):
+    result = run_once(benchmark, lambda: figure_scaling(scale))
+    emit_bench(result)
+
+    by_case = {row["case"]: row for row in result.rows}
+    # Every sweep point correlates the identical trace.
+    assert len({row["activities"] for row in result.rows}) == 1
+    assert all(row["components"] >= 6 for row in result.rows)
+
+    # The headline claim: at 4 shards the static fold stacks the heavy
+    # components while the cost-aware schedules spread them.
+    for executor in scale.scaling_executors:
+        static = by_case[f"4x-{executor}-static"]
+        stealing = by_case[f"4x-{executor}-stealing"]
+        balanced = by_case[f"4x-{executor}-balanced"]
+        ratio = stealing["throughput_kact_s"] / static["throughput_kact_s"]
+        assert ratio >= 1.3, (
+            f"stealing only {ratio:.2f}x over static on {executor} "
+            f"(static makespan {static['correlation_time_s']}s, "
+            f"stealing {stealing['correlation_time_s']}s)"
+        )
+        assert (
+            balanced["correlation_time_s"] <= static["correlation_time_s"]
+        ), "LPT packing must not be slower than round-robin on the skewed trace"

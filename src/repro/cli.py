@@ -115,6 +115,8 @@ from .pipeline import (
     TraceSession,
 )
 from .core.export import trace_summary
+from .stream.scheduler import SCHEDULE_KINDS
+from .stream.sharded import EXECUTOR_KINDS
 from .services.faults import FaultConfig
 from .services.noise import NoiseConfig
 from .services.rubis.client import WorkloadStages
@@ -143,6 +145,16 @@ def _add_sampling_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="N",
         help="trace at most N requests per second of trace time",
+    )
+    parser.add_argument(
+        "--sample-adaptive",
+        type=int,
+        default=None,
+        metavar="TARGET",
+        help=(
+            "steer the admission rate toward TARGET open requests in the "
+            "engine (feedback control; incremental backend only)"
+        ),
     )
 
 
@@ -273,6 +285,47 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     stream_parser.add_argument(
+        "--schedule",
+        choices=list(SCHEDULE_KINDS),
+        default="static",
+        help=(
+            "sharded component-to-shard policy: static round-robin, "
+            "cost-balanced LPT packing, or LPT plus run-time work stealing "
+            "(requires --shards)"
+        ),
+    )
+    stream_parser.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_KINDS),
+        default="thread",
+        help="sharded worker pool kind (requires --shards; default: thread)",
+    )
+    stream_parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help=(
+            "periodically snapshot the incremental engine to FILE "
+            "(requires --checkpoint-every; incremental backend only)"
+        ),
+    )
+    stream_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint cadence in ingested activities (requires --checkpoint)",
+    )
+    stream_parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="FILE",
+        help=(
+            "resume a previous run from this checkpoint file instead of "
+            "starting at the head of the trace (incremental backend only)"
+        ),
+    )
+    stream_parser.add_argument(
         "--clients",
         type=int,
         default=None,
@@ -293,7 +346,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     profile_parser.add_argument(
         "--figure",
-        choices=["fig9", "fig11s", "sampling", "interning"],
+        choices=["fig9", "fig11s", "sampling", "interning", "scaling"],
         default="fig9",
         help="which performance figure to regenerate (default: fig9)",
     )
@@ -378,18 +431,33 @@ def _sampling_from_args(args: argparse.Namespace) -> Optional[SamplingSpec]:
     Raises :class:`ValueError` with a user-facing message on invalid
     combinations; the commands convert that into the exit-2 path.
     """
-    rate, budget = args.sample_rate, args.sample_budget
-    if rate is None and budget is None:
+    rate = args.sample_rate
+    budget = args.sample_budget
+    adaptive = getattr(args, "sample_adaptive", None)
+    given = [
+        flag
+        for flag, value in (
+            ("--sample-rate", rate),
+            ("--sample-budget", budget),
+            ("--sample-adaptive", adaptive),
+        )
+        if value is not None
+    ]
+    if not given:
         return None
-    if rate is not None and budget is not None:
-        raise ValueError("--sample-rate and --sample-budget are mutually exclusive")
+    if len(given) > 1:
+        raise ValueError(f"{' and '.join(given)} are mutually exclusive")
     if rate is not None:
         if not 0.0 < rate <= 1.0:
             raise ValueError(f"--sample-rate must be in (0, 1], got {rate:g}")
         return SamplingSpec.uniform(rate)
-    if budget <= 0:
-        raise ValueError(f"--sample-budget must be positive, got {budget}")
-    return SamplingSpec.budget(budget)
+    if budget is not None:
+        if budget <= 0:
+            raise ValueError(f"--sample-budget must be positive, got {budget}")
+        return SamplingSpec.budget(budget)
+    if adaptive <= 0:
+        raise ValueError(f"--sample-adaptive must be positive, got {adaptive}")
+    return SamplingSpec.adaptive(target_open_cags=adaptive)
 
 
 # ---------------------------------------------------------------------------
@@ -637,18 +705,37 @@ def _command_stream(args: argparse.Namespace) -> int:
             print(f"activities logged       : {run.total_activities}")
 
     # -- backend: incremental, or sharded parallel ---------------------------
-    if args.shards > 0:
-        backend = BackendSpec.sharded(
-            window=args.window, max_shards=args.shards, sampling=sampling
-        )
-    else:
-        backend = BackendSpec.streaming(
-            window=args.window,
-            horizon=args.horizon if args.horizon > 0 else None,
-            skew_bound=args.skew_bound,
-            chunk_size=args.chunk_size,
-            sampling=sampling,
-        )
+    # BackendSpec validation raises ValueError on incompatible knob
+    # combinations (adaptive sampling on the sharded driver, checkpoint
+    # flags without --checkpoint-every, ...); surface those as the usual
+    # one-line exit-2 error instead of a traceback.
+    try:
+        if args.shards > 0:
+            if args.checkpoint or args.checkpoint_every or args.resume:
+                raise ValueError(
+                    "--checkpoint/--checkpoint-every/--resume apply to the "
+                    "incremental driver and cannot be combined with --shards"
+                )
+            backend = BackendSpec.sharded(
+                window=args.window,
+                max_shards=args.shards,
+                executor=args.executor,
+                schedule=args.schedule,
+                sampling=sampling,
+            )
+        else:
+            backend = BackendSpec.streaming(
+                window=args.window,
+                horizon=args.horizon if args.horizon > 0 else None,
+                skew_bound=args.skew_bound,
+                chunk_size=args.chunk_size,
+                sampling=sampling,
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                resume_from=args.resume,
+            )
+    except ValueError as exc:
+        return _fail(str(exc))
 
     # Classification (and the simulation, for run sources) happens inside
     # source.activities(); keep it outside the timer so "wall-clock
@@ -656,7 +743,11 @@ def _command_stream(args: argparse.Namespace) -> int:
     # reported correlation time.
     activities = source.activities()
     wall_start = time.perf_counter()
-    trace = backend.trace(activities)
+    try:
+        trace = backend.trace(activities)
+    except (ValueError, OSError) as exc:
+        # Bad/missing/mismatched checkpoint files surface here.
+        return _fail(str(exc))
     wall = time.perf_counter() - wall_start
     trace.filtered_records = source.filtered_records
     session = TraceSession(source=source, backend=backend, trace=trace)
@@ -713,6 +804,7 @@ def _command_profile(args: argparse.Namespace, scale) -> int:
         figure11_streaming,
         figure_interning,
         figure_sampling,
+        figure_scaling,
     )
 
     generators = {
@@ -720,6 +812,7 @@ def _command_profile(args: argparse.Namespace, scale) -> int:
         "fig11s": figure11_streaming,
         "sampling": figure_sampling,
         "interning": figure_interning,
+        "scaling": figure_scaling,
     }
     result = generators[args.figure](scale)
     print(render_table(result))

@@ -32,6 +32,19 @@ MESSAGE_EDGE = "message"
 _cag_counter = itertools.count()
 
 
+def ensure_cag_ids_above(value: int) -> None:
+    """Advance the global CAG id counter past ``value``.
+
+    Checkpoint resume unpickles CAGs that carry ids assigned by another
+    process; without this bump a freshly created CAG could reuse one of
+    those ids and silently replace a live entry in the engine's
+    id-keyed ``_open`` map.  Never moves the counter backwards.
+    """
+    global _cag_counter
+    current = next(_cag_counter)
+    _cag_counter = itertools.count(max(current, value + 1))
+
+
 class CAGError(RuntimeError):
     """Raised when an operation would violate the CAG invariants."""
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from .activity import Activity, ActivityType
-from .cag import CAG, CONTEXT_EDGE, MESSAGE_EDGE, SampledOutCAG
+from .cag import CAG, CONTEXT_EDGE, MESSAGE_EDGE, SampledOutCAG, ensure_cag_ids_above
 from .index_maps import ContextMap, MessageMap
 
 
@@ -121,6 +121,84 @@ class CorrelationEngine:
         # maps remain the owning API (eviction, touch, introspection) and
         # both sides only ever mutate these dicts in place, never rebind
         # them.
+        self._cmap_latest = self.cmap._latest
+        self._cmap_recency = self.cmap._recency
+        self._mmap_pending = self.mmap._pending
+
+    # -- pickling (streaming checkpoints) -----------------------------------
+
+    def __getstate__(self):
+        """Picklable engine state (the streaming checkpoint payload).
+
+        Three kinds of attribute cannot cross a pickle boundary as-is
+        and are reconstructed in :meth:`__setstate__`:
+
+        * the direct index-map dict references and the bound-method
+          dispatch table (rebuilt from the unpickled maps/handlers);
+        * ``_owner``, keyed by ``id(activity)`` -- object ids do not
+          survive unpickling.  It is *derived* state: exactly the
+          vertices of the open CAGs, each owned by its CAG (entries are
+          added when a vertex joins an open CAG and dropped by
+          ``_release_vertices`` when the CAG closes), so it is rebuilt
+          from ``_open`` rather than serialised;
+        * ``_partial_receive``, keyed by ``id(send)`` -- converted to
+          (send, receive) object pairs.  Every key is a SEND still
+          pending in the ``mmap`` (the entry is popped whenever its SEND
+          leaves), so the pickle memo keeps each pair's send identical
+          to the object inside the unpickled ``mmap`` deques.
+        """
+        state = self.__dict__.copy()
+        for derived in (
+            "_dispatch",
+            "_cmap_latest",
+            "_cmap_recency",
+            "_mmap_pending",
+            "_sampler_tick",
+            "_owner",
+        ):
+            state.pop(derived, None)
+        sends_by_id = {
+            id(send): send
+            for pending in self.mmap._pending.values()
+            for send in pending
+        }
+        state["_partial_receive"] = [
+            (sends_by_id[send_id], receive)
+            for send_id, receive in self._partial_receive.items()
+            if send_id in sends_by_id
+        ]
+        return state
+
+    def __setstate__(self, state):
+        pairs = state.pop("_partial_receive")
+        self.__dict__.update(state)
+        # The revived CAGs carry ids assigned by the checkpointing
+        # process; keep the local id counter ahead of them so no new CAG
+        # can collide with a live ``_open`` key.
+        highest = -1
+        for group in (self._open.values(), self._finished, self._evicted):
+            for cag in group:
+                if cag.cag_id > highest:
+                    highest = cag.cag_id
+        if highest >= 0:
+            ensure_cag_ids_above(highest)
+        self._partial_receive = {id(send): receive for send, receive in pairs}
+        self._owner = {
+            id(vertex): cag
+            for cag in self._open.values()
+            for vertex in cag.vertices
+        }
+        sampler = self.sampler
+        self._sampler_tick = (
+            sampler.tick if sampler is not None and sampler.is_adaptive else None
+        )
+        self._dispatch = [
+            self._handle_begin,
+            self._handle_send,
+            self._handle_end,
+            self._handle_receive,
+            None,
+        ]
         self._cmap_latest = self.cmap._latest
         self._cmap_recency = self.cmap._recency
         self._mmap_pending = self.mmap._pending

@@ -69,6 +69,12 @@ class ExperimentScale:
     fuzz_sampling_rate: float = 0.5
     #: scenario-library scenarios swept by the overhead-control figure
     sampling_scenarios: Tuple[str, ...] = ("rubis", "fanout_aggregator", "cache_aside")
+    #: shard counts swept by the scale-out figure
+    scaling_shard_counts: Tuple[int, ...] = (2, 4, 8)
+    #: executors swept by the scale-out figure
+    scaling_executors: Tuple[str, ...] = ("thread", "process")
+    #: schedules swept by the scale-out figure
+    scaling_schedules: Tuple[str, ...] = ("static", "balanced", "stealing")
 
     @property
     def max_threads_values(self) -> Tuple[int, ...]:

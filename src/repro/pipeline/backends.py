@@ -19,8 +19,10 @@ eviction disabled -- the same finished CAGs (the equivalence asserted by
 
 ============  =========================================================
 ``batch``     ``window`` only
-``streaming`` ``window``, ``horizon``, ``skew_bound``, ``chunk_size``
-``sharded``   ``window``, ``max_shards``, ``max_workers``, ``executor``
+``streaming`` ``window``, ``horizon``, ``skew_bound``, ``chunk_size``,
+              ``checkpoint_path``, ``checkpoint_every``, ``resume_from``
+``sharded``   ``window``, ``max_shards``, ``max_workers``, ``executor``,
+              ``schedule``
 ============  =========================================================
 """
 
@@ -36,6 +38,7 @@ from ..core.interning import ActivityTable
 from ..core.tracer import TraceResult
 from ..sampling import SamplingSpec
 from ..stream import ShardedCorrelator, StreamingCorrelator
+from ..stream.scheduler import SCHEDULE_KINDS
 from ..stream.sharded import EXECUTOR_KINDS
 
 #: The three backend kinds, in canonical (equivalence-matrix) order.
@@ -67,6 +70,17 @@ class BackendSpec:
     #: sharded: ``"thread"`` (GIL-bounded, zero copy) or ``"process"``
     #: (true parallelism, shards pickled across the boundary)
     executor: str = "thread"
+    #: sharded: component-to-shard assignment policy -- ``"static"``
+    #: (historical round-robin), ``"balanced"`` (LPT cost packing) or
+    #: ``"stealing"`` (LPT plus run-time work stealing)
+    schedule: str = "static"
+    #: streaming: checkpoint file path (requires ``checkpoint_every``)
+    checkpoint_path: Optional[str] = None
+    #: streaming: checkpoint cadence in ingested activities
+    checkpoint_every: Optional[int] = None
+    #: streaming: resume from this checkpoint file instead of starting
+    #: from the head of the trace
+    resume_from: Optional[str] = None
     #: request sampling policy (``None`` = trace every request).  The
     #: decision is made at each causal root by deterministic hashing, so
     #: every backend kind samples the identical request subset and
@@ -94,6 +108,23 @@ class BackendSpec:
                 f"unknown executor {self.executor!r}; valid executors: "
                 f"{', '.join(EXECUTOR_KINDS)}"
             )
+        if self.schedule not in SCHEDULE_KINDS:
+            raise ValueError(
+                f"unknown schedule {self.schedule!r}; valid schedules: "
+                f"{', '.join(SCHEDULE_KINDS)}"
+            )
+        if (self.checkpoint_path is None) != (self.checkpoint_every is None):
+            raise ValueError(
+                "checkpoint_path and checkpoint_every must be set together"
+            )
+        if self.checkpoint_every is not None and self.checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        if self.kind != "streaming":
+            if self.checkpoint_path is not None or self.resume_from is not None:
+                raise ValueError(
+                    "checkpointing and resume are streaming-backend features "
+                    f"(backend kind is {self.kind!r})"
+                )
         if self.sampling is not None:
             if not isinstance(self.sampling, SamplingSpec):
                 raise ValueError(
@@ -123,6 +154,9 @@ class BackendSpec:
         skew_bound: float = 0.005,
         chunk_size: int = 256,
         sampling: Optional[SamplingSpec] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+        resume_from: Optional[str] = None,
     ) -> "BackendSpec":
         return cls(
             kind="streaming",
@@ -131,6 +165,9 @@ class BackendSpec:
             skew_bound=skew_bound,
             chunk_size=chunk_size,
             sampling=sampling,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            resume_from=resume_from,
         )
 
     @classmethod
@@ -140,6 +177,7 @@ class BackendSpec:
         max_shards: Optional[int] = None,
         max_workers: Optional[int] = None,
         executor: str = "thread",
+        schedule: str = "static",
         sampling: Optional[SamplingSpec] = None,
     ) -> "BackendSpec":
         return cls(
@@ -148,6 +186,7 @@ class BackendSpec:
             max_shards=max_shards,
             max_workers=max_workers,
             executor=executor,
+            schedule=schedule,
             sampling=sampling,
         )
 
@@ -168,12 +207,16 @@ class BackendSpec:
                 skew_bound=self.skew_bound,
                 chunk_size=self.chunk_size,
                 sampling=self.sampling,
+                checkpoint_path=self.checkpoint_path,
+                checkpoint_every=self.checkpoint_every,
+                resume_from=self.resume_from,
             )
         return ShardedCorrelator(
             window=self.window,
             max_workers=self.max_workers,
             max_shards=self.max_shards,
             executor=self.executor,
+            schedule=self.schedule,
             sampling=self.sampling,
         )
 
@@ -200,10 +243,11 @@ class BackendSpec:
             activities = activities.iter_fresh()
         correlator = self.make_correlator()
         if self.kind == "streaming" and on_cag is not None:
-            engine = correlator.make_engine()
-            for cag in correlator.correlate_iter(activities, engine=engine):
+            # Let correlate_iter own engine construction so the
+            # resume_from/checkpoint plumbing applies to this path too.
+            for cag in correlator.correlate_iter(activities):
                 on_cag(cag)
-            return engine.result()
+            return correlator.last_engine.result()
         result = correlator.correlate(activities)
         if on_cag is not None:
             for cag in result.cags:
@@ -227,12 +271,17 @@ class BackendSpec:
             parts.append(f"horizon={horizon}")
             parts.append(f"skew_bound={self.skew_bound:g}s")
             parts.append(f"chunk_size={self.chunk_size}")
+            if self.checkpoint_every is not None:
+                parts.append(f"checkpoint_every={self.checkpoint_every}")
+            if self.resume_from is not None:
+                parts.append(f"resume_from={self.resume_from}")
         elif self.kind == "sharded":
             if self.max_shards is not None:
                 parts.append(f"max_shards={self.max_shards}")
             if self.max_workers is not None:
                 parts.append(f"max_workers={self.max_workers}")
             parts.append(f"executor={self.executor}")
+            parts.append(f"schedule={self.schedule}")
         if self.sampling is not None:
             parts.append(f"sampling={self.sampling.describe()}")
         return f"{self.kind} ({', '.join(parts)})"

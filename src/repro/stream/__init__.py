@@ -28,15 +28,26 @@ horizon, only requests idle longer than the horizon can differ.  See
 ``docs/architecture.md`` and ``tests/test_stream.py``.
 """
 
+from .checkpoint import StreamCheckpoint, load_checkpoint, save_checkpoint
 from .incremental import IncrementalEngine, StreamingCorrelator
 from .ranker import GrowingSource, StreamingRanker
 from .reader import ActivityStream, FileTailSource, IteratorSource, iter_chunks
+from .scheduler import (
+    SCHEDULE_KINDS,
+    ShardPlan,
+    WorkStealingDispatcher,
+    make_plan,
+)
 from .sharded import (
+    MergeTree,
     ShardedCorrelator,
+    canonical_part,
     merge_engine_stats,
+    merge_pair,
     merge_ranker_stats,
     merge_results,
     partition_activities,
+    partition_components,
 )
 
 __all__ = [
@@ -45,12 +56,23 @@ __all__ = [
     "GrowingSource",
     "IncrementalEngine",
     "IteratorSource",
+    "MergeTree",
+    "SCHEDULE_KINDS",
+    "ShardPlan",
     "ShardedCorrelator",
+    "StreamCheckpoint",
     "StreamingCorrelator",
     "StreamingRanker",
+    "WorkStealingDispatcher",
+    "canonical_part",
     "iter_chunks",
+    "load_checkpoint",
+    "make_plan",
     "merge_engine_stats",
+    "merge_pair",
     "merge_ranker_stats",
     "merge_results",
     "partition_activities",
+    "partition_components",
+    "save_checkpoint",
 ]

@@ -54,6 +54,7 @@ from ..core.activity import Activity, sort_key
 from ..core.cag import CAG
 from ..core.correlator import CorrelationResult
 from ..core.engine import CorrelationEngine
+from .checkpoint import load_checkpoint, save_checkpoint
 from .ranker import StreamingRanker
 
 
@@ -254,6 +255,17 @@ class StreamingCorrelator:
     same :class:`~repro.core.correlator.CorrelationResult`.  Use
     :meth:`correlate_iter` instead to consume finished CAGs as they are
     emitted.
+
+    Checkpoint/resume: with ``checkpoint_path`` + ``checkpoint_every``
+    set, the engine state is snapshotted at the first chunk boundary at
+    or past every ``checkpoint_every`` ingested activities (see
+    :mod:`repro.stream.checkpoint` for the file format).  With
+    ``resume_from`` set, correlation revives the saved engine, skips the
+    already-ingested prefix of the (deterministically sorted) trace, and
+    continues -- the final result digest is identical to an
+    uninterrupted run.  The streaming knobs must match the ones the
+    checkpoint was taken under; mismatches raise :class:`ValueError`
+    rather than silently producing different output.
     """
 
     def __init__(
@@ -264,15 +276,30 @@ class StreamingCorrelator:
         chunk_size: int = 256,
         sample_interval: int = 256,
         sampling=None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+        resume_from: Optional[str] = None,
     ) -> None:
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
+        if (checkpoint_path is None) != (checkpoint_every is None):
+            raise ValueError(
+                "checkpoint_path and checkpoint_every must be set together"
+            )
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
         self.window = window
         self.horizon = horizon
         self.skew_bound = skew_bound
         self.chunk_size = chunk_size
         self.sample_interval = sample_interval
         self.sampling = sampling
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.resume_from = resume_from
+        #: The engine the last ``correlate_iter``/``correlate`` call drove;
+        #: read ``last_engine.result()`` after consuming the iterator.
+        self.last_engine: Optional[IncrementalEngine] = None
 
     def make_engine(self, sampling_decisions=None) -> IncrementalEngine:
         return IncrementalEngine(
@@ -294,11 +321,10 @@ class StreamingCorrelator:
 
     def correlate(self, activities: Iterable[Activity]) -> CorrelationResult:
         """Correlate a (finite) activity collection incrementally."""
-        ordered = self._arrival_order(activities)
-        engine = self.make_engine(self._decisions_for(ordered))
-        for _cag in self.correlate_iter(ordered, engine=engine):
+        for _cag in self.correlate_iter(activities):
             pass
-        return engine.result()
+        assert self.last_engine is not None
+        return self.last_engine.result()
 
     def correlate_iter(
         self,
@@ -307,15 +333,79 @@ class StreamingCorrelator:
     ) -> Iterator[CAG]:
         """Yield finished CAGs as the stream is consumed.
 
-        Pass your own ``engine`` to read ``engine.result()`` afterwards.
+        The engine driven here is left on :attr:`last_engine`; read
+        ``last_engine.result()`` after the iterator is exhausted (or pass
+        your own ``engine``, which disables ``resume_from`` handling).
         """
         ordered = self._arrival_order(activities)
+        skip = 0
         if engine is None:
-            engine = self.make_engine(self._decisions_for(ordered))
-        for start in range(0, len(ordered), self.chunk_size):
+            if self.resume_from is not None:
+                engine, skip = self._resume_engine(len(ordered))
+            else:
+                engine = self.make_engine(self._decisions_for(ordered))
+        self.last_engine = engine
+        every = self.checkpoint_every
+        # Cadence in *ingested activities*, written at chunk boundaries:
+        # the next threshold is the first multiple of ``every`` past what
+        # the engine has already seen (which on resume is mid-trace).
+        next_checkpoint = (
+            (engine.total_ingested // every + 1) * every if every else None
+        )
+        for start in range(skip, len(ordered), self.chunk_size):
             chunk = ordered[start : start + self.chunk_size]
             yield from engine.ingest(chunk)
+            if next_checkpoint is not None and engine.total_ingested >= next_checkpoint:
+                self._write_checkpoint(engine)
+                next_checkpoint = (engine.total_ingested // every + 1) * every
         yield from engine.flush()
+
+    # -- checkpoint plumbing -------------------------------------------------
+
+    def _config_fingerprint(self) -> dict:
+        """The knobs that must match between a checkpoint and a resume."""
+        return {
+            "window": self.window,
+            "horizon": self.horizon,
+            "skew_bound": self.skew_bound,
+            "chunk_size": self.chunk_size,
+            "sample_interval": self.sample_interval,
+            "sampling": self.sampling,
+        }
+
+    def _write_checkpoint(self, engine: IncrementalEngine) -> None:
+        assert self.checkpoint_path is not None
+        save_checkpoint(
+            self.checkpoint_path,
+            engine,
+            ingested_count=engine.total_ingested,
+            config=self._config_fingerprint(),
+        )
+
+    def _resume_engine(self, trace_length: int):
+        assert self.resume_from is not None
+        checkpoint = load_checkpoint(self.resume_from)
+        expected = self._config_fingerprint()
+        mismatched = sorted(
+            key
+            for key in expected
+            if checkpoint.config.get(key) != expected[key]
+        )
+        if mismatched:
+            raise ValueError(
+                "checkpoint configuration mismatch on "
+                + ", ".join(
+                    f"{key} (checkpoint {checkpoint.config.get(key)!r} != "
+                    f"current {expected[key]!r})"
+                    for key in mismatched
+                )
+            )
+        if checkpoint.ingested_count > trace_length:
+            raise ValueError(
+                f"checkpoint has ingested {checkpoint.ingested_count} activities "
+                f"but the trace only has {trace_length}"
+            )
+        return checkpoint.engine, checkpoint.ingested_count
 
     @staticmethod
     def _arrival_order(activities: Iterable[Activity]) -> Sequence[Activity]:

@@ -11,10 +11,28 @@ component can therefore be correlated completely independently, and the
 union of the per-shard results is *identical* to the batch result.
 
 :func:`partition_activities` computes those components with a union-find
-pass, then folds them into at most ``max_shards`` shard buckets;
-:class:`ShardedCorrelator` correlates the shards concurrently with
-``concurrent.futures`` and merges CAGs, statistics and the ranked latency
-report back into one :class:`~repro.core.correlator.CorrelationResult`.
+pass; :class:`ShardedCorrelator` schedules them onto a worker pool with
+one of three policies (see :mod:`repro.stream.scheduler`) and gathers
+the per-shard results through an associative **merge tree** back into
+one :class:`~repro.core.correlator.CorrelationResult`:
+
+``schedule="static"``
+    The historical behaviour: components folded round-robin into at
+    most ``max_shards`` buckets, one correlation task per bucket.
+``schedule="balanced"``
+    Components weighted by activity count and packed LPT-greedily onto
+    the shard slots, one task per component.
+``schedule="stealing"``
+    The balanced plan plus run-time work stealing: an idle slot takes
+    the next component from the tail of the most-loaded queue, which is
+    what fixes the straggler problem of skewed component distributions
+    (a replica group or fan-out tier routinely produces one giant
+    component next to many small ones).
+
+Because the gather is associative and every merge step keeps the CAG
+lists canonically ordered (by BEGIN timestamp, then creation sequence),
+the merged output is byte-identical whatever order shards complete in --
+the property the cross-backend golden digests pin down.
 
 Two practical notes:
 
@@ -40,8 +58,14 @@ Two practical notes:
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import fields
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import fields, replace
+from heapq import merge as _heap_merge
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.activity import Activity, sort_key
@@ -49,6 +73,12 @@ from ..core.correlator import CorrelationResult, Correlator
 from ..core.engine import EngineStats
 from ..core.interning import INTERNER
 from ..core.ranker import RankerStats
+from .scheduler import (
+    SCHEDULE_KINDS,
+    ShardPlan,
+    WorkStealingDispatcher,
+    make_plan,
+)
 
 
 class _UnionFind:
@@ -80,21 +110,13 @@ class _UnionFind:
             self._rank[ra] += 1
 
 
-def partition_activities(
-    activities: Iterable[Activity],
-    max_shards: Optional[int] = None,
-) -> List[List[Activity]]:
-    """Split a trace into causally-closed shards.
+def partition_components(activities: Iterable[Activity]) -> List[List[Activity]]:
+    """The causally-closed components of a trace, in first-seen order.
 
     Each activity links its context key and its (undirected) connection
-    key in a union-find; activities in the same connected component land
-    in the same shard, preserving their original relative order.  With
-    ``max_shards`` set, components are folded round-robin (in order of
-    each component's earliest activity) into that many buckets, which
-    balances bucket sizes and keeps the causal-closure property (a
-    bucket is a union of components).  Bucket assignment is
-    deterministic for a given trace but not stable across traces --
-    adding or removing a component may shift later components' buckets.
+    key in a union-find; activities of one connected component form one
+    sub-trace, preserving their original relative order.  This is the
+    finest causally-closed partition -- every schedule packs *these*.
     """
     uf = _UnionFind()
     ordered = list(activities)
@@ -113,7 +135,24 @@ def partition_activities(
         root = uf.find(ctx)
         by_component.setdefault(root, []).append(activity)
 
-    components = list(by_component.values())
+    return list(by_component.values())
+
+
+def partition_activities(
+    activities: Iterable[Activity],
+    max_shards: Optional[int] = None,
+) -> List[List[Activity]]:
+    """Split a trace into causally-closed shards (the static policy).
+
+    With ``max_shards`` set, components are folded round-robin (in order
+    of each component's earliest activity) into that many buckets, which
+    balances bucket *counts* -- not costs -- and keeps the causal-closure
+    property (a bucket is a union of components).  Bucket assignment is
+    deterministic for a given trace but not stable across traces --
+    adding or removing a component may shift later components' buckets.
+    Cost-aware packing lives in :mod:`repro.stream.scheduler`.
+    """
+    components = partition_components(activities)
     if max_shards is None or max_shards <= 0 or len(components) <= max_shards:
         return components
 
@@ -146,6 +185,95 @@ def merge_ranker_stats(parts: Sequence[RankerStats]) -> RankerStats:
     return _sum_stats(RankerStats, parts)
 
 
+def _cag_order(cag) -> Tuple[float, int]:
+    """Canonical CAG order: BEGIN timestamp, then creation sequence."""
+    return (cag.begin_timestamp, cag.root.seq)
+
+
+def canonical_part(part: CorrelationResult) -> CorrelationResult:
+    """A shard result with its CAG lists in canonical order.
+
+    Canonicalising each leaf once is what makes :func:`merge_pair` a
+    linear two-way list merge, and what makes the whole gather
+    *associative*: every intermediate result is canonically ordered, so
+    any merge tree over the same leaves produces the same lists.
+    """
+    return replace(
+        part,
+        cags=sorted(part.cags, key=_cag_order),
+        incomplete_cags=sorted(part.incomplete_cags, key=_cag_order),
+    )
+
+
+def merge_pair(a: CorrelationResult, b: CorrelationResult) -> CorrelationResult:
+    """Merge two canonically-ordered partial results into one.
+
+    Every field combines associatively: CAG lists by ordered two-way
+    merge, stats and peak counters by field-wise sum (peaks are summed
+    because all shards are resident at once in the parallel driver --
+    the honest concurrent working-set bound), ``correlation_time`` by
+    sum (total busy time; the driver overwrites the final result's value
+    with the wall-clock elapsed).  Commutative too, apart from the
+    stable tie-break of equal sort keys -- which cannot occur across
+    shards, since ``seq`` is globally unique.
+    """
+    return replace(
+        a,
+        cags=list(_heap_merge(a.cags, b.cags, key=_cag_order)),
+        incomplete_cags=list(
+            _heap_merge(a.incomplete_cags, b.incomplete_cags, key=_cag_order)
+        ),
+        correlation_time=a.correlation_time + b.correlation_time,
+        peak_buffered_activities=a.peak_buffered_activities
+        + b.peak_buffered_activities,
+        peak_state_entries=a.peak_state_entries + b.peak_state_entries,
+        ranker_stats=merge_ranker_stats([a.ranker_stats, b.ranker_stats]),
+        engine_stats=merge_engine_stats([a.engine_stats, b.engine_stats]),
+        total_activities=a.total_activities + b.total_activities,
+        final_state_entries=a.final_state_entries + b.final_state_entries,
+        final_open_tombstones=a.final_open_tombstones + b.final_open_tombstones,
+    )
+
+
+class MergeTree:
+    """Incremental pairwise reduction of shard results.
+
+    Results are pushed as they complete; the tree keeps at most
+    ``log2(pushed)`` partial results alive (the classic binary-counter
+    fold: a completed pair merges immediately, freeing both halves), so
+    the driver never serialises O(shards) merge work at the end and
+    never holds every unmerged part at once.  Because :func:`merge_pair`
+    is associative over canonical parts, the final result is independent
+    of completion order -- :func:`merge_results` relies on exactly that.
+    """
+
+    def __init__(self) -> None:
+        # _levels[rank] holds at most one partial result of 2**rank leaves.
+        self._levels: List[Optional[CorrelationResult]] = []
+
+    def push(self, part: CorrelationResult) -> None:
+        """Add one *canonically ordered* shard result (see
+        :func:`canonical_part`)."""
+        rank = 0
+        while rank < len(self._levels) and self._levels[rank] is not None:
+            part = merge_pair(self._levels[rank], part)
+            self._levels[rank] = None
+            rank += 1
+        if rank == len(self._levels):
+            self._levels.append(part)
+        else:
+            self._levels[rank] = part
+
+    def result(self) -> Optional[CorrelationResult]:
+        """Fold the remaining partials (``None`` when nothing was pushed)."""
+        merged: Optional[CorrelationResult] = None
+        for partial in self._levels:
+            if partial is None:
+                continue
+            merged = partial if merged is None else merge_pair(partial, merged)
+        return merged
+
+
 def merge_results(
     parts: Sequence[CorrelationResult],
     window: float,
@@ -155,33 +283,36 @@ def merge_results(
 ) -> CorrelationResult:
     """Merge per-shard correlation results into one batch-shaped result.
 
-    CAGs are re-ranked by their BEGIN timestamp so the merged report is
-    deterministic regardless of shard completion order.  Peak memory
-    numbers are summed across shards: with all shards resident at once
-    (the parallel driver's situation) that is the honest working-set
-    bound.
+    The gather is a pairwise merge tree over canonicalised parts, so the
+    merged CAG lists -- and with them the ranked latency report computed
+    from them -- are deterministic regardless of shard completion *or*
+    argument order (``tests/test_sharded_scaling.py`` pins this down
+    with shuffled part orders).  Peak memory numbers are summed across
+    shards: with all shards resident at once (the parallel driver's
+    situation) that is the honest working-set bound.
     """
-    cags = sorted(
-        (cag for part in parts for cag in part.cags),
-        key=lambda cag: (cag.begin_timestamp, cag.root.seq),
-    )
-    incomplete = sorted(
-        (cag for part in parts for cag in part.incomplete_cags),
-        key=lambda cag: (cag.begin_timestamp, cag.root.seq),
-    )
-    return CorrelationResult(
-        cags=cags,
-        incomplete_cags=incomplete,
+    tree = MergeTree()
+    for part in parts:
+        tree.push(canonical_part(part))
+    merged = tree.result()
+    if merged is None:
+        merged = CorrelationResult(
+            cags=[],
+            incomplete_cags=[],
+            correlation_time=0.0,
+            peak_buffered_activities=0,
+            peak_state_entries=0,
+            ranker_stats=RankerStats(),
+            engine_stats=EngineStats(),
+            window=window,
+            total_activities=0,
+        )
+    return replace(
+        merged,
         correlation_time=elapsed,
-        peak_buffered_activities=sum(p.peak_buffered_activities for p in parts),
-        peak_state_entries=sum(p.peak_state_entries for p in parts),
-        ranker_stats=merge_ranker_stats([p.ranker_stats for p in parts]),
-        engine_stats=merge_engine_stats([p.engine_stats for p in parts]),
         window=window,
         total_activities=total_activities,
         shard_sizes=list(shard_sizes) if shard_sizes is not None else None,
-        final_state_entries=sum(p.final_state_entries for p in parts),
-        final_open_tombstones=sum(p.final_open_tombstones for p in parts),
     )
 
 
@@ -216,6 +347,28 @@ def _correlate_shard(
     ).correlate(shard)
 
 
+def _correlate_shard_timed(
+    window: float,
+    sampling,
+    decisions,
+    shard: Sequence[Activity],
+    interner_snapshot=None,
+) -> Tuple[CorrelationResult, float]:
+    """:func:`_correlate_shard` plus the worker's own busy-time measurement.
+
+    The worker times itself with ``thread_time`` -- CPU time of the
+    executing thread alone -- so the driver's per-slot busy accounting
+    (and the scaling figure's makespan) excludes queueing, pickle
+    transfer and, crucially, GIL/scheduler waits while *other* workers
+    run: on an oversubscribed machine a wall-clock self-measurement
+    would charge every slot for its neighbours' work and flatten the
+    very load imbalance the measurement exists to show.
+    """
+    start = time.thread_time()
+    part = _correlate_shard(window, sampling, decisions, shard, interner_snapshot)
+    return part, time.thread_time() - start
+
+
 #: Executor kinds accepted by :class:`ShardedCorrelator`.
 EXECUTOR_KINDS = ("thread", "process")
 
@@ -230,8 +383,8 @@ class ShardedCorrelator:
         Sliding-time-window size in seconds (per shard, identical
         semantics to the batch correlator).
     max_workers:
-        Pool size for shard correlation (default: executor's own
-        heuristic).
+        Pool size for shard correlation (default: one worker per shard
+        slot).
     max_shards:
         Upper bound on shard count; components are folded together above
         it.  ``None`` keeps one shard per connected component.
@@ -240,6 +393,12 @@ class ShardedCorrelator:
         zero serialisation cost, GIL-bounded; ``"process"`` ships shards
         to worker processes for true CPU parallelism (shards and results
         cross a pickle boundary, so it pays off on large traces).
+    schedule:
+        How components are assigned to shard slots: ``"static"``
+        (historical round-robin fold), ``"balanced"`` (LPT cost-aware
+        packing) or ``"stealing"`` (LPT plus run-time work stealing).
+        See :mod:`repro.stream.scheduler`.  All three produce identical
+        merged output; only the load balance differs.
     sampling:
         Optional :class:`repro.sampling.SamplingSpec`.  The hash and
         budget policies sample the identical request subset the batch
@@ -248,6 +407,11 @@ class ShardedCorrelator:
         shard).  The adaptive policy is rejected: its feedback loop
         observes one sequential engine's state, which a shard-parallel
         run does not have.
+
+    After a :meth:`correlate` call the scheduling outcome is exposed for
+    reporting: ``last_shard_sizes`` (activities per slot),
+    ``last_slot_busy_s`` (worker-measured busy seconds per slot),
+    ``last_steals`` and ``last_plan``.
     """
 
     def __init__(
@@ -256,6 +420,7 @@ class ShardedCorrelator:
         max_workers: Optional[int] = None,
         max_shards: Optional[int] = None,
         executor: str = "thread",
+        schedule: str = "static",
         sampling=None,
     ) -> None:
         if window <= 0:
@@ -264,6 +429,11 @@ class ShardedCorrelator:
             raise ValueError(
                 f"unknown executor {executor!r}; valid executors: "
                 f"{', '.join(EXECUTOR_KINDS)}"
+            )
+        if schedule not in SCHEDULE_KINDS:
+            raise ValueError(
+                f"unknown schedule {schedule!r}; valid schedules: "
+                f"{', '.join(SCHEDULE_KINDS)}"
             )
         if sampling is not None and sampling.kind == "adaptive":
             raise ValueError(
@@ -275,9 +445,16 @@ class ShardedCorrelator:
         self.max_workers = max_workers
         self.max_shards = max_shards
         self.executor = executor
+        self.schedule = schedule
         self.sampling = sampling
-        #: shard sizes of the last ``correlate`` call (for reporting)
+        #: shard-slot activity counts of the last ``correlate`` call
         self.last_shard_sizes: List[int] = []
+        #: worker-measured busy seconds per slot of the last call
+        self.last_slot_busy_s: List[float] = []
+        #: components stolen across slots in the last call
+        self.last_steals: int = 0
+        #: the initial :class:`~repro.stream.scheduler.ShardPlan` used
+        self.last_plan: Optional[ShardPlan] = None
 
     def correlate(self, activities: Iterable[Activity]) -> CorrelationResult:
         """Correlate a flat activity collection shard-parallel."""
@@ -288,12 +465,27 @@ class ShardedCorrelator:
         decisions = (
             self.sampling.freeze(ordered) if self.sampling is not None else None
         )
+        if self.schedule == "static":
+            return self._correlate_static(ordered, decisions, start)
+        return self._correlate_planned(ordered, decisions, start)
+
+    # -- static: the historical bucket fold, one task per bucket -------------
+
+    def _correlate_static(
+        self, ordered: List[Activity], decisions, start: float
+    ) -> CorrelationResult:
         shards = partition_activities(ordered, max_shards=self.max_shards)
         self.last_shard_sizes = [len(shard) for shard in shards]
+        self.last_plan = None
+        self.last_steals = 0
         if not shards:
+            self.last_slot_busy_s = []
             return Correlator(window=self.window).correlate([])
         if len(shards) == 1:
-            part = _correlate_shard(self.window, self.sampling, decisions, shards[0])
+            part, busy = _correlate_shard_timed(
+                self.window, self.sampling, decisions, shards[0]
+            )
+            self.last_slot_busy_s = [busy]
             elapsed = time.perf_counter() - start
             return merge_results(
                 [part], self.window, elapsed, len(ordered),
@@ -308,19 +500,128 @@ class ShardedCorrelator:
         # (see _correlate_shard).  Taken after partitioning, so every key
         # of every shard is covered.
         snapshot = INTERNER.snapshot() if self.executor == "process" else None
+        tree = MergeTree()
+        busy_s = [0.0] * count
         with pool_cls(max_workers=self.max_workers) as pool:
-            parts = list(
+            for index, (part, busy) in enumerate(
                 pool.map(
-                    _correlate_shard,
+                    _correlate_shard_timed,
                     [self.window] * count,
                     [self.sampling] * count,
                     [decisions] * count,
                     shards,
                     [snapshot] * count,
                 )
-            )
+            ):
+                busy_s[index] = busy
+                tree.push(canonical_part(part))
+        self.last_slot_busy_s = busy_s
         elapsed = time.perf_counter() - start
         return merge_results(
-            parts, self.window, elapsed, len(ordered),
+            [tree.result()], self.window, elapsed, len(ordered),
             shard_sizes=self.last_shard_sizes,
         )
+
+    # -- balanced / stealing: per-component dispatch -------------------------
+
+    def _correlate_planned(
+        self, ordered: List[Activity], decisions, start: float
+    ) -> CorrelationResult:
+        components = partition_components(ordered)
+        if not components:
+            self.last_shard_sizes = []
+            self.last_slot_busy_s = []
+            self.last_steals = 0
+            self.last_plan = None
+            return Correlator(window=self.window).correlate([])
+        weights = [len(component) for component in components]
+        # Time order of each component's earliest activity: the
+        # deterministic secondary order every plan builds on.
+        order = sorted(
+            range(len(components)), key=lambda index: sort_key(components[index][0])
+        )
+        slots = len(components)
+        if self.max_shards is not None and self.max_shards > 0:
+            slots = min(slots, self.max_shards)
+        plan = make_plan(self.schedule, weights, order, slots)
+        dispatcher = WorkStealingDispatcher(
+            plan, allow_steal=self.schedule == "stealing"
+        )
+        tree = MergeTree()
+
+        if slots == 1:
+            # One slot: no pool, no concurrency -- run the plan inline.
+            while True:
+                index = dispatcher.next_component(0)
+                if index is None:
+                    break
+                part, busy = _correlate_shard_timed(
+                    self.window, self.sampling, decisions, components[index]
+                )
+                dispatcher.record(0, index, busy)
+                tree.push(canonical_part(part))
+        else:
+            snapshot = INTERNER.snapshot() if self.executor == "process" else None
+            pool_cls = (
+                ProcessPoolExecutor
+                if self.executor == "process"
+                else ThreadPoolExecutor
+            )
+            pool_workers = (
+                self.max_workers if self.max_workers is not None else slots
+            )
+            with pool_cls(max_workers=min(pool_workers, slots)) as pool:
+
+                def dispatch(slot: int):
+                    index = dispatcher.next_component(slot)
+                    if index is None:
+                        return None
+                    future = pool.submit(
+                        _correlate_shard_timed,
+                        self.window,
+                        self.sampling,
+                        decisions,
+                        components[index],
+                        snapshot,
+                    )
+                    return future, index
+
+                # One outstanding task per slot; a completed slot pulls
+                # its next component (or steals one) immediately, while
+                # other slots keep running -- no barrier between rounds.
+                running = {}
+                for slot in range(slots):
+                    task = dispatch(slot)
+                    if task is not None:
+                        running[task[0]] = (slot, task[1])
+                while running:
+                    done, _pending = wait(running, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        slot, index = running.pop(future)
+                        part, busy = future.result()
+                        dispatcher.record(slot, index, busy)
+                        tree.push(canonical_part(part))
+                        task = dispatch(slot)
+                        if task is not None:
+                            running[task[0]] = (slot, task[1])
+
+        self.last_plan = plan
+        self.last_steals = dispatcher.steals
+        self.last_slot_busy_s = dispatcher.busy_seconds()
+        self.last_shard_sizes = [slot.activities for slot in dispatcher.slots]
+        elapsed = time.perf_counter() - start
+        return merge_results(
+            [tree.result()], self.window, elapsed, len(ordered),
+            shard_sizes=self.last_shard_sizes,
+        )
+
+    # -- reporting ------------------------------------------------------------
+
+    def last_makespan_s(self) -> float:
+        """Busiest slot's measured busy time of the last ``correlate``.
+
+        With one core per slot this tracks the parallel wall-clock time;
+        on an oversubscribed machine it still measures the schedule's
+        quality (what the wall clock would be with real parallelism).
+        """
+        return max(self.last_slot_busy_s) if self.last_slot_busy_s else 0.0

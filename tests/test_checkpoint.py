@@ -1,0 +1,232 @@
+"""Checkpoint/resume tests for the streaming correlator.
+
+The contract under test: a streaming run killed at any point past a
+checkpoint and resumed from that checkpoint produces a final
+``result_digest`` byte-identical to the uninterrupted run -- for every
+library scenario, at kill points early, middle and late in the trace.
+One test performs a real ``SIGKILL`` mid-run in a subprocess and resumes
+in a *fresh* interpreter, which is the actual crash-recovery story
+(interner state and engine ids must survive the process boundary, not
+just a pickle round-trip inside one process).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.core.interning import ActivityTable
+from repro.pipeline import result_digest
+from repro.stream import StreamingCorrelator, load_checkpoint, save_checkpoint
+from repro.stream.checkpoint import MAGIC
+from repro.topology.library import run_scenario, scenario_names
+
+WINDOW = 0.010
+
+
+def _scenario_table(name: str) -> ActivityTable:
+    return ActivityTable.from_activities(run_scenario(name, seed=5).activities())
+
+
+def _run_until_checkpoint(correlator: StreamingCorrelator, table: ActivityTable):
+    """Drive a checkpointing run and abandon it as soon as a checkpoint
+    lands on disk -- the in-process stand-in for a crash.  (Abandoning at
+    a *yield* suspends the generator mid-chunk, exactly like a process
+    dying between two chunk boundaries.)"""
+    path = correlator.checkpoint_path
+    iterator = correlator.correlate_iter(table.iter_fresh())
+    for _cag in iterator:
+        if os.path.exists(path):
+            break
+    iterator.close()
+
+
+class TestKillAndResumeAllScenarios:
+    @pytest.mark.parametrize("scenario", sorted(scenario_names()))
+    def test_resume_digest_equals_uninterrupted(self, scenario, tmp_path):
+        table = _scenario_table(scenario)
+        total = len(table)
+        uninterrupted = result_digest(
+            StreamingCorrelator(window=WINDOW).correlate(table.iter_fresh())
+        )
+        for fraction in (0.25, 0.50, 0.75):
+            target = max(1, int(total * fraction))
+            ckpt = str(tmp_path / f"{scenario}-{fraction}.ckpt")
+            crashed = StreamingCorrelator(
+                window=WINDOW, checkpoint_path=ckpt, checkpoint_every=target
+            )
+            _run_until_checkpoint(crashed, table)
+            assert os.path.exists(ckpt), (scenario, fraction)
+            resumed = StreamingCorrelator(window=WINDOW, resume_from=ckpt)
+            digest = result_digest(resumed.correlate(table.iter_fresh()))
+            assert digest == uninterrupted, (scenario, fraction)
+            # The resumed engine really skipped a prefix: it still saw
+            # every activity exactly once in total.
+            assert resumed.last_engine.total_ingested == total
+
+
+class TestCrashKillSubprocess:
+    def test_sigkill_mid_run_then_resume_in_fresh_interpreter(self, tmp_path):
+        """A real crash: the checkpointing process dies with SIGKILL the
+        moment its first checkpoint lands; a brand-new interpreter
+        resumes from the file and must reproduce the uninterrupted
+        digest byte for byte."""
+        ckpt = str(tmp_path / "crash.ckpt")
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env = dict(os.environ, PYTHONPATH=os.path.abspath(src))
+
+        crasher = textwrap.dedent(
+            f"""
+            import os, signal
+            from repro.core.interning import ActivityTable
+            from repro.stream import StreamingCorrelator
+            from repro.topology.library import run_scenario
+
+            table = ActivityTable.from_activities(
+                run_scenario("five_tier_chain", seed=5).activities()
+            )
+            correlator = StreamingCorrelator(
+                window={WINDOW}, checkpoint_path={ckpt!r},
+                checkpoint_every=len(table) // 2,
+            )
+            for _cag in correlator.correlate_iter(table.iter_fresh()):
+                if os.path.exists({ckpt!r}):
+                    os.kill(os.getpid(), signal.SIGKILL)
+            raise SystemExit("run finished without checkpointing")
+            """
+        )
+        crashed = subprocess.run(
+            [sys.executable, "-c", crasher], env=env, capture_output=True, text=True
+        )
+        assert crashed.returncode == -signal.SIGKILL, crashed.stderr
+        assert os.path.exists(ckpt)
+
+        driver = textwrap.dedent(
+            f"""
+            import sys
+            from repro.core.interning import ActivityTable
+            from repro.pipeline import result_digest
+            from repro.stream import StreamingCorrelator
+            from repro.topology.library import run_scenario
+
+            table = ActivityTable.from_activities(
+                run_scenario("five_tier_chain", seed=5).activities()
+            )
+            resume_from = sys.argv[1] if len(sys.argv) > 1 else None
+            correlator = StreamingCorrelator(window={WINDOW}, resume_from=resume_from)
+            print(result_digest(correlator.correlate(table.iter_fresh())))
+            """
+        )
+
+        def digest_of(*argv: str) -> str:
+            proc = subprocess.run(
+                [sys.executable, "-c", driver, *argv],
+                env=env,
+                capture_output=True,
+                text=True,
+            )
+            assert proc.returncode == 0, proc.stderr
+            return proc.stdout.strip()
+
+        assert digest_of(ckpt) == digest_of()
+
+
+class TestCheckpointFileContract:
+    def test_round_trip_preserves_counts_and_config(self, tmp_path):
+        table = _scenario_table("cache_aside")
+        ckpt = str(tmp_path / "rt.ckpt")
+        correlator = StreamingCorrelator(
+            window=WINDOW, checkpoint_path=ckpt, checkpoint_every=len(table) // 3
+        )
+        _run_until_checkpoint(correlator, table)
+        loaded = load_checkpoint(ckpt)
+        assert loaded.ingested_count == loaded.engine.total_ingested
+        assert loaded.config["window"] == WINDOW
+        assert loaded.config["chunk_size"] == correlator.chunk_size
+
+    def test_config_mismatch_is_rejected(self, tmp_path):
+        table = _scenario_table("cache_aside")
+        ckpt = str(tmp_path / "mismatch.ckpt")
+        correlator = StreamingCorrelator(
+            window=WINDOW, checkpoint_path=ckpt, checkpoint_every=len(table) // 3
+        )
+        _run_until_checkpoint(correlator, table)
+        resumed = StreamingCorrelator(window=0.002, resume_from=ckpt)
+        with pytest.raises(ValueError, match="window"):
+            resumed.correlate(table.iter_fresh())
+
+    def test_not_a_checkpoint_is_rejected(self, tmp_path):
+        path = tmp_path / "garbage.ckpt"
+        path.write_bytes(pickle.dumps({"magic": "something-else"}))
+        with pytest.raises(ValueError, match="not a PreciseTracer"):
+            load_checkpoint(str(path))
+
+    def test_corrupted_engine_blob_is_rejected(self, tmp_path):
+        table = _scenario_table("cache_aside")
+        ckpt = tmp_path / "corrupt.ckpt"
+        correlator = StreamingCorrelator(
+            window=WINDOW,
+            checkpoint_path=str(ckpt),
+            checkpoint_every=len(table) // 3,
+        )
+        _run_until_checkpoint(correlator, table)
+        payload = pickle.loads(ckpt.read_bytes())
+        assert payload["magic"] == MAGIC
+        payload["engine_blob"] = payload["engine_blob"][:-8] + b"deadbeef"
+        ckpt.write_bytes(pickle.dumps(payload))
+        with pytest.raises(ValueError, match="checksum"):
+            load_checkpoint(str(ckpt))
+
+    def test_checkpoint_past_the_trace_is_rejected(self, tmp_path):
+        table = _scenario_table("cache_aside")
+        ckpt = str(tmp_path / "long.ckpt")
+        correlator = StreamingCorrelator(
+            window=WINDOW, checkpoint_path=ckpt, checkpoint_every=len(table) // 2
+        )
+        _run_until_checkpoint(correlator, table)
+        short = list(table.iter_fresh())[: len(table) // 4]
+        resumed = StreamingCorrelator(window=WINDOW, resume_from=ckpt)
+        with pytest.raises(ValueError, match="only has"):
+            resumed.correlate(short)
+
+    def test_atomic_write_leaves_no_temp_file(self, tmp_path):
+        table = _scenario_table("cache_aside")
+        ckpt = tmp_path / "atomic.ckpt"
+        engine = StreamingCorrelator(window=WINDOW).make_engine()
+        save_checkpoint(str(ckpt), engine, ingested_count=0, config={})
+        assert ckpt.exists()
+        assert not (tmp_path / "atomic.ckpt.tmp").exists()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="together"):
+            StreamingCorrelator(checkpoint_path="x.ckpt")
+        with pytest.raises(ValueError, match="together"):
+            StreamingCorrelator(checkpoint_every=100)
+        with pytest.raises(ValueError, match="positive"):
+            StreamingCorrelator(checkpoint_path="x.ckpt", checkpoint_every=0)
+
+
+class TestEngineStateSurvivesPickling:
+    def test_new_cags_after_resume_do_not_collide_with_revived_ids(self, tmp_path):
+        """The engine's CAG id counter is module-global and restarts at
+        zero in a fresh process; ``__setstate__`` must advance it past
+        every revived id so a new CAG can never silently replace a live
+        open CAG in the id-keyed bookkeeping."""
+        table = _scenario_table("replicated_lb")
+        ckpt = str(tmp_path / "ids.ckpt")
+        crashed = StreamingCorrelator(
+            window=WINDOW, checkpoint_path=ckpt, checkpoint_every=len(table) // 2
+        )
+        _run_until_checkpoint(crashed, table)
+        resumed = StreamingCorrelator(window=WINDOW, resume_from=ckpt)
+        result = resumed.correlate(table.iter_fresh())
+        ids = [cag.cag_id for cag in result.cags] + [
+            cag.cag_id for cag in result.incomplete_cags
+        ]
+        assert len(ids) == len(set(ids))
