@@ -794,6 +794,7 @@ def _command_profile(args: argparse.Namespace, scale) -> int:
     """Regenerate a perf figure, record BENCH_*.json, compare to baseline."""
     import os
 
+    from .core.kernel import kernel_provenance
     from .experiments.bench import (
         compare_timing_rows,
         load_bench_result,
@@ -814,6 +815,12 @@ def _command_profile(args: argparse.Namespace, scale) -> int:
         "interning": figure_interning,
         "scaling": figure_scaling,
     }
+    provenance = kernel_provenance()
+    print(
+        f"rank kernel: {provenance['kernel']} "
+        f"(requested {provenance['kernel_requested']}; "
+        f"{provenance['kernel_reason']})"
+    )
     result = generators[args.figure](scale)
     print(render_table(result))
 

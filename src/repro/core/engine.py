@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional
 
 from .activity import Activity, ActivityType
 from .cag import CAG, CONTEXT_EDGE, MESSAGE_EDGE, SampledOutCAG, ensure_cag_ids_above
@@ -47,6 +47,11 @@ class EngineStats:
     unmatched_ends: int = 0
     thread_reuse_blocked: int = 0
     oversized_receives: int = 0
+    #: receive parts that straddled a pipelined-message boundary on a
+    #: reused connection and were split: the head SEND's byte count was
+    #: final, so the part's leading bytes completed it and the remainder
+    #: carried over to the next pending SEND.
+    split_receives: int = 0
     finished_cags: int = 0
     # Request-sampling counters (a sampler was configured).  Sampled-out
     # requests are tracked as tombstones while in flight and discarded on
@@ -62,6 +67,9 @@ class EngineStats:
     # path never evicts).  See :meth:`CorrelationEngine.evict_stale`.
     evicted_mmap_entries: int = 0
     evicted_cmap_entries: int = 0
+    #: backlogged receive parts dropped by watermark eviction (their
+    #: matching SEND bytes never arrived within the horizon).
+    evicted_backlog_parts: int = 0
     evicted_open_cags: int = 0
     evicted_sampled_out_cags: int = 0
 
@@ -97,11 +105,33 @@ class CorrelationEngine:
         # CAG finishes, which keeps the map size proportional to the number
         # of in-flight requests.
         self._owner: Dict[int, CAG] = {}
-        # Last partially-matched RECEIVE per pending SEND (by identity).
-        # Needed when the byte balance of a segmented message reaches zero
-        # while a *SEND* part is being merged (interleaved delivery): the
-        # RECEIVE vertex is then completed from here.
-        self._partial_receive: Dict[int, Activity] = {}
+        # Per-connection FIFO of receive parts whose bytes have not been
+        # consumed by a pending SEND yet.  Each entry is a mutable list
+        # ``[activity, remaining, fed, fed_send]``: the delivered part,
+        # how many of its bytes are still unconsumed, how many bytes it
+        # has fed into the *current* head SEND, and that SEND (so stale
+        # feed counts are detected when a head vanishes without
+        # completing).  Byte matching consumes backlog parts against
+        # pending SENDs strictly in FIFO order on both sides
+        # (:meth:`_settle`), which makes the n-to-n matching insensitive
+        # to how part deliveries interleave across nodes -- the property
+        # the sharded driver's batch-equivalence rests on when an
+        # oversized RECEIVE spans pipelined requests on a reused
+        # connection.
+        self._recv_backlog: Dict[int, Deque[list]] = {}
+        self._backlog_size = 0
+        # Sequence number of the last *delivered* activity per context
+        # (``cmap`` only advances when a RECEIVE completes, which can
+        # happen many candidates after its delivery).  Kernel-part
+        # merges (BEGIN/SEND/END) are gated on this: a part may only
+        # merge into its program-order predecessor -- if any other
+        # activity of the context was delivered in between, the parts
+        # are separate logical messages.  Without the gate the merge
+        # decision hinges on whether an intervening RECEIVE *completed*
+        # in time, which depends on how deliveries interleave across
+        # nodes and diverges between backends.
+        self._ctx_last_seq: Dict[int, int] = {}
+        self._prev_ctx_seq: int = -1
         # CAGs dropped by watermark eviction (streaming mode); kept so the
         # final accounting can still report them as incomplete paths.
         self._evicted: List[CAG] = []
@@ -141,11 +171,10 @@ class CorrelationEngine:
           added when a vertex joins an open CAG and dropped by
           ``_release_vertices`` when the CAG closes), so it is rebuilt
           from ``_open`` rather than serialised;
-        * ``_partial_receive``, keyed by ``id(send)`` -- converted to
-          (send, receive) object pairs.  Every key is a SEND still
-          pending in the ``mmap`` (the entry is popped whenever its SEND
-          leaves), so the pickle memo keeps each pair's send identical
-          to the object inside the unpickled ``mmap`` deques.
+        ``_recv_backlog`` needs no translation: its entries reference
+        their activities (and the head SEND they fed) directly, and the
+        pickle memo keeps those references identical to the objects
+        inside the unpickled ``mmap`` deques.
         """
         state = self.__dict__.copy()
         for derived in (
@@ -157,20 +186,9 @@ class CorrelationEngine:
             "_owner",
         ):
             state.pop(derived, None)
-        sends_by_id = {
-            id(send): send
-            for pending in self.mmap._pending.values()
-            for send in pending
-        }
-        state["_partial_receive"] = [
-            (sends_by_id[send_id], receive)
-            for send_id, receive in self._partial_receive.items()
-            if send_id in sends_by_id
-        ]
         return state
 
     def __setstate__(self, state):
-        pairs = state.pop("_partial_receive")
         self.__dict__.update(state)
         # The revived CAGs carry ids assigned by the checkpointing
         # process; keep the local id counter ahead of them so no new CAG
@@ -182,7 +200,6 @@ class CorrelationEngine:
                     highest = cag.cag_id
         if highest >= 0:
             ensure_cag_ids_above(highest)
-        self._partial_receive = {id(send): receive for send, receive in pairs}
         self._owner = {
             id(vertex): cag
             for cag in self._open.values()
@@ -244,7 +261,7 @@ class CorrelationEngine:
             + len(self.cmap)
             + len(self._owner)
             + len(self._open)
-            + len(self._partial_receive)
+            + self._backlog_size
         )
 
     def process(self, current: Activity) -> Optional[CAG]:
@@ -259,6 +276,9 @@ class CorrelationEngine:
         handler = self._dispatch[current.priority]
         if handler is None:  # pragma: no cover - MAX is never instantiated
             return None
+        ctx_key = current.context_key
+        self._prev_ctx_seq = self._ctx_last_seq.get(ctx_key, -1)
+        self._ctx_last_seq[ctx_key] = current.seq
         return handler(current)
 
     # -- BEGIN / END ---------------------------------------------------------
@@ -270,6 +290,7 @@ class CorrelationEngine:
             previous is not None
             and previous.type is ActivityType.BEGIN
             and previous.message_key == current.message_key
+            and previous.seq == self._prev_ctx_seq
         ):
             owner = self._owner.get(id(previous))
             if owner is not None and len(owner) == 1:
@@ -281,6 +302,9 @@ class CorrelationEngine:
                 # straddling the horizon looks idle and streaming eviction
                 # drops a *live* request.
                 previous.size += current.size
+                # The vertex absorbed the part: it stays the context's
+                # last-delivered activity, so the next part can merge too.
+                self._ctx_last_seq[current.context_key] = previous.seq
                 self.cmap.touch(current.context_key, current.timestamp)
                 owner.touch(current.timestamp)
                 return None
@@ -309,12 +333,17 @@ class CorrelationEngine:
         if parent is None:
             self.stats.unmatched_ends += 1
             return None
-        if parent.type is ActivityType.END and parent.message_key == current.message_key:
+        if (
+            parent.type is ActivityType.END
+            and parent.message_key == current.message_key
+            and parent.seq == self._prev_ctx_seq
+        ):
             # Response flushed in several kernel writes; the request is
             # already finished, just account the extra bytes -- and keep
             # the context's eviction recency honest while the tail of the
             # response is still being written.
             parent.size += current.size
+            self._ctx_last_seq[current.context_key] = parent.seq
             self.cmap.touch(current.context_key, current.timestamp)
             return None
         cag = self._owner.get(id(parent))
@@ -330,6 +359,18 @@ class CorrelationEngine:
 
     # -- SEND ----------------------------------------------------------------
 
+    def _parent_is_pending(self, parent: Activity) -> bool:
+        """Identity probe of the pending map (``MessageMap.is_pending``
+        without the method indirection and generator allocation -- this
+        sits on the per-SEND merge check of the hot loop)."""
+        queue = self._mmap_pending.get(parent.message_key)
+        if not queue:
+            return False
+        for entry in queue:
+            if entry is parent:
+                return True
+        return False
+
     def _handle_send(self, current: Activity) -> Optional[CAG]:
         self.stats.sends += 1
         parent = self._cmap_latest.get(current.context_key)
@@ -343,30 +384,34 @@ class CorrelationEngine:
         if (
             parent.type is ActivityType.SEND
             and parent.message_key == current.message_key
-            and self.mmap.is_pending(parent)
+            and parent.seq == self._prev_ctx_seq
+            and self._parent_is_pending(parent)
         ):
             # Fig. 3 line 15-16: consecutive kernel writes of one logical
             # message collapse into a single SEND vertex whose byte count
             # grows; the mmap entry is the same object, so the outstanding
-            # byte count grows with it.  If the previous SEND has already
-            # been fully matched (its bytes balanced out before this part
-            # was delivered, which interleaved delivery can produce), this
-            # part starts a fresh SEND vertex instead so the remaining
-            # receiver reads still find a pending entry to match.
+            # byte count grows with it.  "Consecutive" is judged against
+            # the context's *delivery* history (``_prev_ctx_seq``), not
+            # the cmap -- see ``_ctx_last_seq``.  If the previous SEND
+            # has already been fully matched (its bytes balanced out
+            # before this part was delivered, which interleaved delivery
+            # can produce), this part starts a fresh SEND vertex instead
+            # so the remaining receiver reads still find a pending entry
+            # to match.
             parent.size += current.size
             self.stats.merged_sends += 1
+            self._ctx_last_seq[current.context_key] = parent.seq
             # Same recency hazard as the BEGIN/END merges: the vertex grew
             # in place, so the context and its CAG are provably alive.
             self.cmap.touch(current.context_key, current.timestamp)
             cag.touch(current.timestamp)
-            if parent.size == 0:
-                # The receiver had already consumed every byte of this
-                # logical message (its reads were delivered first); this
-                # merged part balanced the books, so complete the match
-                # with the last partial RECEIVE now.
-                receive = self._partial_receive.pop(id(parent), None)
-                if receive is not None:
-                    self._complete_receive(parent, receive, cag)
+            # The receiver's reads may already be waiting in the backlog
+            # (delivered before this part was merged in); the grown byte
+            # count can consume them now -- and complete the match when
+            # the books balance.
+            backlog = self._recv_backlog.get(current.message_key)
+            if backlog:
+                self._settle(self._mmap_pending[current.message_key], backlog)
             return None
 
         cag.append(current, parent, CONTEXT_EDGE)
@@ -379,41 +424,138 @@ class CorrelationEngine:
         if pending is None:
             pending = self._mmap_pending[message_key] = deque()
         pending.append(current)
+        # A new SEND vertex behind a balanced-but-parked head finalises
+        # the head's byte count (its sender context has moved on), and
+        # backlog parts retained from the previous pipelined message can
+        # start feeding this one.
+        backlog = self._recv_backlog.get(message_key)
+        if backlog:
+            self._settle(pending, backlog)
         return None
 
     # -- RECEIVE ---------------------------------------------------------------
 
     def _handle_receive(self, current: Activity) -> Optional[CAG]:
         self.stats.receives += 1
-        pending = self._mmap_pending.get(current.message_key)
-        parent_msg = pending[0] if pending else None
-        if parent_msg is None:
+        key = current.message_key
+        pending = self._mmap_pending.get(key)
+        if not pending:
             self.stats.unmatched_receives += 1
             return None
 
-        cag = self._owner.get(id(parent_msg))
-        if cag is None:
-            # The owning CAG finished or was evicted; treat as unmatched.
-            self.mmap.remove(parent_msg)
-            self.stats.unmatched_receives += 1
-            return None
-
-        parent_msg.size -= current.size
-        if parent_msg.size != 0:
+        backlog = self._recv_backlog.get(key)
+        if not backlog:
+            # Fast path for the by-far-common unsegmented cases: nothing
+            # backlogged on this connection, the head SEND is live and
+            # still has bytes outstanding, and this part does not overrun
+            # it.  Equivalent to allocating a backlog entry and running
+            # ``_settle`` -- which would consume exactly this part against
+            # exactly that head -- minus the allocations.
+            send = pending[0]
+            cag = self._owner.get(id(send))
+            if cag is not None and send.size > 0:
+                size = current.size
+                if size < send.size:
+                    # Partial read: bytes still outstanding, nothing kept.
+                    send.size -= size
+                    self.stats.partial_receives += 1
+                    return None
+                if size == send.size:
+                    # Exact balance: the match completes immediately.
+                    send.size = 0
+                    self._complete_receive(send, current, cag)
+                    return None
+            if backlog is None:
+                backlog = self._recv_backlog[key] = deque()
+        backlog.append([current, current.size, 0, None])
+        self._backlog_size += 1
+        if self._settle(pending, backlog) == 0:
             # Only part of the logical message has been matched so far
-            # (Fig. 4).  The balance may even be temporarily negative when
-            # receive parts are delivered before the sender's remaining
-            # send parts have been merged in; the entry stays in the mmap
-            # until the byte counts balance out exactly.
+            # (Fig. 4).
             self.stats.partial_receives += 1
-            self._partial_receive[id(parent_msg)] = current
-            if parent_msg.size < 0:
+            if backlog and backlog[0][1] > 0:
+                # Receive bytes ran ahead of the sender's merged parts:
+                # the leftover waits in the backlog instead of driving
+                # the pending SEND's balance negative.
                 self.stats.oversized_receives += 1
-            return None
-
-        self._partial_receive.pop(id(parent_msg), None)
-        self._complete_receive(parent_msg, current, cag)
         return None
+
+    def _settle(self, pending: Deque[Activity], backlog: Deque[list]) -> int:
+        """Consume backlogged receive parts against pending SENDs.
+
+        Both sides are strict per-connection FIFOs, so the byte matching
+        depends only on the per-queue delivery orders (which every
+        backend shares), never on how deliveries interleave across
+        nodes.  A pending SEND's balance never goes negative: when a
+        receive part's bytes run ahead of the sender's merged parts, the
+        leftover parks at the head of the backlog until either a later
+        kernel write merges in (growing the SEND) or a new SEND vertex
+        proves the byte count final.  Returns the number of logical
+        messages completed.
+        """
+        completed = 0
+        while pending and backlog:
+            send = pending[0]
+            cag = self._owner.get(id(send))
+            if cag is None:
+                # The owning CAG finished or was evicted; drop the ghost
+                # so it cannot capture this (unrelated) traffic.
+                self.mmap.remove(send)
+                self.stats.unmatched_receives += 1
+                continue
+            entry = backlog[0]
+            if entry[3] is not send:
+                # First bytes this part feeds into this SEND (or the head
+                # it previously fed vanished without completing).
+                entry[2] = 0
+                entry[3] = send
+            if send.size > 0:
+                take = entry[1] if entry[1] < send.size else send.size
+                send.size -= take
+                entry[1] -= take
+                entry[2] += take
+            if send.size > 0:
+                # Part exhausted, message still outstanding: a later part
+                # (or a merged send write) continues the match.
+                backlog.popleft()
+                self._backlog_size -= 1
+                continue
+            # The byte balance is at zero -- but more kernel writes of
+            # this logical message may still be on their way (Fig. 4's
+            # n-to-n segmentation, delivered in any interleaving).
+            if entry[1] == 0:
+                # The receive part ended exactly on the message boundary:
+                # the books balance, the match is complete.
+                backlog.popleft()
+                self._backlog_size -= 1
+                self._complete_receive(send, entry[0], cag)
+                completed += 1
+                continue
+            if self._cmap_latest.get(send.context_key) is send:
+                # The sender's context is still parked on this SEND, so a
+                # later kernel write can still merge in and grow the
+                # message: the leftover receive bytes must wait.
+                break
+            # The sender has moved on -- this SEND's byte count is final.
+            # The receive part straddles the message boundary: split it,
+            # complete this message with the bytes it consumed, and leave
+            # the remainder for the next pipelined message.
+            part = entry[0]
+            vertex = Activity(
+                type=part.type,
+                timestamp=part.timestamp,
+                context=part.context,
+                message=part.message,
+                request_id=part.request_id,
+                seq=part.seq,
+                size=entry[2],
+            )
+            entry[2] = 0
+            entry[3] = None
+            self.stats.split_receives += 1
+            self._complete_receive(send, vertex, cag)
+            completed += 1
+        return completed
 
     def _complete_receive(self, parent_msg: Activity, current: Activity, cag: CAG) -> None:
         """All bytes of a logical message are matched: add the RECEIVE vertex."""
@@ -503,9 +645,17 @@ class CorrelationEngine:
         """
         evicted = 0
         for send in self.mmap.evict_older_than(before):
-            self._partial_receive.pop(id(send), None)
             self.stats.evicted_mmap_entries += 1
             evicted += 1
+        for backlog_key in list(self._recv_backlog):
+            backlog = self._recv_backlog[backlog_key]
+            while backlog and backlog[0][0].timestamp < before:
+                backlog.popleft()
+                self._backlog_size -= 1
+                self.stats.evicted_backlog_parts += 1
+                evicted += 1
+            if not backlog:
+                del self._recv_backlog[backlog_key]
         cmap_evicted = self.cmap.evict_older_than(before)
         self.stats.evicted_cmap_entries += cmap_evicted
         evicted += cmap_evicted
@@ -567,7 +717,6 @@ class CorrelationEngine:
             self._owner.pop(id(vertex), None)
             if vertex.type is ActivityType.SEND:
                 self.mmap.remove(vertex)
-                self._partial_receive.pop(id(vertex), None)
             if purge_cmap:
                 key = vertex.context_key
                 if self._cmap_latest.get(key) is vertex:

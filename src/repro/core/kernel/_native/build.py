@@ -1,0 +1,131 @@
+"""Lazy build of the compiled rank-kernel with the system C compiler.
+
+The container this repo targets ships a C toolchain but no Cython or
+mypyc, so the compiled backend is a hand-written CPython extension
+(``kernelmod.c``) compiled on demand::
+
+    python -m repro.core.kernel._native.build
+
+The build is a single compiler invocation -- no setuptools, no build
+isolation, no network.  Artifacts live next to the source:
+
+* ``_kernel<EXT_SUFFIX>`` -- the built extension, rebuilt whenever the
+  C source is newer;
+* ``.build_failed`` -- a stamp recording the source mtime of the last
+  failed attempt, so ``REPRO_KERNEL=auto`` probes do not re-run the
+  compiler on every import in an environment where it always fails.
+"""
+
+from __future__ import annotations
+
+import importlib.machinery
+import os
+import shutil
+import subprocess
+import sysconfig
+from typing import Optional
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+SOURCE_PATH = os.path.join(_HERE, "kernelmod.c")
+EXTENSION_PATH = os.path.join(
+    _HERE, "_kernel" + importlib.machinery.EXTENSION_SUFFIXES[0]
+)
+_FAILED_STAMP = os.path.join(_HERE, ".build_failed")
+
+
+class KernelBuildError(RuntimeError):
+    """The compiled kernel could not be built (no toolchain / cc error)."""
+
+
+def find_compiler() -> Optional[str]:
+    """The C compiler to use, or ``None`` when the env has none."""
+    for candidate in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if candidate and shutil.which(candidate):
+            return candidate
+    return None
+
+
+def is_built() -> bool:
+    """True when a built extension exists and is newer than its source."""
+    try:
+        return os.path.getmtime(EXTENSION_PATH) >= os.path.getmtime(SOURCE_PATH)
+    except OSError:
+        return False
+
+
+def _failed_before() -> bool:
+    """True when the last attempt on this exact source already failed."""
+    try:
+        with open(_FAILED_STAMP, "r", encoding="ascii") as handle:
+            return handle.read().strip() == str(os.path.getmtime(SOURCE_PATH))
+    except OSError:
+        return False
+
+
+def _record_failure() -> None:
+    try:
+        with open(_FAILED_STAMP, "w", encoding="ascii") as handle:
+            handle.write(str(os.path.getmtime(SOURCE_PATH)))
+    except OSError:
+        pass  # a read-only tree just retries next time
+
+
+def build(force: bool = False, retry_failed: bool = True) -> str:
+    """Compile the extension; returns its path.
+
+    Raises :class:`KernelBuildError` when no compiler is available or
+    compilation fails.  With ``retry_failed=False`` a previously failed
+    attempt on the same source short-circuits to the error immediately
+    (the cheap path ``REPRO_KERNEL=auto`` takes).
+    """
+    if not force and is_built():
+        return EXTENSION_PATH
+    if not retry_failed and _failed_before():
+        raise KernelBuildError(
+            "a previous build of the native kernel failed for this source; "
+            "run `python -m repro.core.kernel._native.build` to retry"
+        )
+    compiler = find_compiler()
+    if compiler is None:
+        raise KernelBuildError(
+            "no C compiler found (tried $CC, cc, gcc, clang); install a "
+            "toolchain or use REPRO_KERNEL=python"
+        )
+    include_dir = sysconfig.get_paths()["include"]
+    command = [
+        compiler,
+        "-O2",
+        "-fPIC",
+        "-shared",
+        f"-I{include_dir}",
+        SOURCE_PATH,
+        "-o",
+        EXTENSION_PATH,
+    ]
+    result = subprocess.run(command, capture_output=True, text=True)
+    if result.returncode != 0:
+        _record_failure()
+        raise KernelBuildError(
+            "native kernel compilation failed:\n"
+            f"  command: {' '.join(command)}\n"
+            f"  stderr: {result.stderr.strip()[:2000]}"
+        )
+    try:
+        os.remove(_FAILED_STAMP)
+    except OSError:
+        pass
+    return EXTENSION_PATH
+
+
+def main() -> int:
+    try:
+        path = build(force=True)
+    except KernelBuildError as error:
+        print(f"build failed: {error}")
+        return 1
+    print(f"built {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI leg
+    raise SystemExit(main())

@@ -61,6 +61,7 @@ from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .activity import Activity, ActivityType, sort_key
 from .index_maps import MessageMap
+from .kernel import DISCARD, EMPTY, RULE1, STALL, kernel_info
 
 #: Interned message key (see :mod:`repro.core.interning`).
 MessageKey = int
@@ -306,6 +307,31 @@ class Ranker:
         self._queues: Dict[str, Deque[Activity]] = {
             node: deque() for node in self._sources
         }
+        # Kernel head columns: one *slot* per node, in queue-registration
+        # order (= the sweep's scan order; tie-breaks depend on it).
+        # See repro.core.kernel.reference for the layout contract.  The
+        # columns are refreshed incrementally wherever a queue head can
+        # change: deliver, refill into an empty queue, noise discard,
+        # head-swap promotion, streaming ingest of a new node.
+        self._kernel = kernel_info()
+        self._slot_of: Dict[str, int] = {}
+        self._slot_nodes: List[str] = []
+        # Per-slot queue references (queues are created once per node and
+        # never rebound, so the list stays valid): saves the node-keyed
+        # dict lookup on every delivery.
+        self._slot_queues: List[Deque[Activity]] = []
+        # Container types come from the backend: the compiled kernel
+        # needs buffer-capable ``array`` columns, the reference kernel
+        # is faster on plain lists (see KernelInfo.float_column).
+        self._head_ts = self._kernel.float_column()
+        self._head_pri = self._kernel.int_column()
+        self._head_seq = self._kernel.int_column()
+        self._head_keys: List[Optional[int]] = []
+        self._blocked_out = self._kernel.int_column()
+        self._discard_out = self._kernel.int_column()
+        self._select = None
+        for node in self._sources:
+            self._register_slot(node)
         # Buffered-send index: message key -> node -> FIFO of the SENDs
         # with that key currently buffered in the node's queue, in queue
         # order.  Existence answers the noise / blocked-RECEIVE tests in
@@ -327,7 +353,87 @@ class Ranker:
         # per-source fetch loop when nothing can possibly be in window.
         self._source_low_cache: Optional[float] = None
         self._source_low_dirty = True
+        # Incremental count of buffered activities across every queue, so
+        # ``buffered_count()`` (polled by the correlator's peak sampler
+        # and by ``exhausted()`` every EMPTY verdict) is O(1).
+        self._buffered_total = 0
         self.stats = RankerStats()
+
+    # -- kernel head-state plumbing -----------------------------------------
+
+    def _register_slot(self, node: str) -> None:
+        """Grow the head columns by one slot (queue-registration order).
+
+        Growing reallocates the column arrays, so any bound selector is
+        dropped first -- the native backend exports buffer views into
+        them, and an exporting array refuses to resize.  ``rank()``
+        re-binds lazily on its next call.
+        """
+        self._select = None
+        self._slot_of[node] = len(self._slot_nodes)
+        self._slot_nodes.append(node)
+        self._slot_queues.append(self._queues[node])
+        self._head_ts.append(math.inf)
+        self._head_pri.append(9)
+        self._head_seq.append(0)
+        self._head_keys.append(None)
+        self._blocked_out.append(0)
+        self._discard_out.append(0)
+
+    def _rebind_kernel(self):
+        """Bind the active kernel's selector over the current columns."""
+        select = self._kernel.make_selector(
+            self._head_ts,
+            self._head_pri,
+            self._head_seq,
+            self._head_keys,
+            self._mmap_pending,
+            self._buffered_send_index,
+            self._future_send_keys,
+            self._blocked_out,
+            self._discard_out,
+        )
+        self._select = select
+        return select
+
+    def _refresh_slot(self, slot: int, queue: Deque[Activity]) -> None:
+        """Re-derive one slot's head columns after its queue head moved."""
+        if queue:
+            head = queue[0]
+            priority = head.priority
+            self._head_ts[slot] = head.timestamp
+            self._head_pri[slot] = priority
+            self._head_seq[slot] = head.seq
+            self._head_keys[slot] = head.message_key if priority == 3 else None
+        else:
+            self._head_ts[slot] = math.inf
+
+    @property
+    def kernel_name(self) -> str:
+        """Which kernel backend this ranker's sweeps run on."""
+        return self._kernel.name
+
+    def __getstate__(self):
+        """Drop the bound selector: closures and the native Selector do
+        not pickle (checkpoint/resume pickles the streaming ranker whole);
+        the kernel is re-resolved in the restoring process' environment."""
+        state = self.__dict__.copy()
+        state["_select"] = None
+        state["_kernel"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._kernel = kernel_info()
+        # The restoring process may resolve a different backend than the
+        # checkpointing one (e.g. a checkpoint taken with the compiled
+        # kernel restored where no toolchain exists); re-home the head
+        # columns in the container type the active backend requires.
+        self._head_ts = self._kernel.float_column(self._head_ts)
+        self._head_pri = self._kernel.int_column(self._head_pri)
+        self._head_seq = self._kernel.int_column(self._head_seq)
+        self._blocked_out = self._kernel.int_column(self._blocked_out)
+        self._discard_out = self._kernel.int_column(self._discard_out)
 
     # -- public API ---------------------------------------------------------
 
@@ -337,7 +443,7 @@ class Ranker:
 
     def buffered_count(self) -> int:
         """Number of activities currently buffered in the ranker queues."""
-        return sum(len(queue) for queue in self._queues.values())
+        return self._buffered_total
 
     def buffered_activities(self) -> Iterable[Activity]:
         for queue in self._queues.values():
@@ -345,7 +451,7 @@ class Ranker:
 
     def exhausted(self) -> bool:
         """True once every source and every queue is empty."""
-        return self.buffered_count() == 0 and all(
+        return self._buffered_total == 0 and all(
             source.exhausted for source in self._sources.values()
         )
 
@@ -364,51 +470,98 @@ class Ranker:
         paper's head swap generalised to arbitrary queue positions.
         """
         ceiling = self.ceiling
-        streaming = ceiling != math.inf
-        mmap_pending = self._mmap_pending
-        mmap_pending_get = mmap_pending.get
         queues = self._queues
-        receive_type = ActivityType.RECEIVE
+        nodes = self._slot_nodes
+        slot_queues = self._slot_queues
+        head_ts = self._head_ts
+        head_pri = self._head_pri
+        head_seq = self._head_seq
+        head_keys = self._head_keys
+        stats = self.stats
         window = self._window
-        # The loop below iterates the queues dict directly instead of
-        # materialising a heads list: the tuple churn of a per-call list
-        # is what kept the cycle collector busy on long traces.
+        # The fused two-sweep selection lives in the kernel (see
+        # repro.core.kernel.reference for the decision contract): flat
+        # loops over the head columns, no attribute chasing.  This loop
+        # does the state changes the verdict asks for.
+        select = self._select
+        if select is None:
+            select = self._rebind_kernel()
         while True:
             # Refill only when it can do something: either a cached
             # minimum is stale, or some source frontier actually falls
-            # inside the current window.
-            if self._low_dirty or self._source_low_dirty:
+            # inside the current window.  Once every source is drained
+            # (clean source cache, no frontier) a refill can never fetch,
+            # so the drain tail skips the gate -- and the low-edge cache
+            # is allowed to stay dirty, since only refills consume it.
+            if self._source_low_dirty:
                 self._refill()
             else:
                 source_low = self._source_low_cache
-                low = self._low_cache
-                if (
-                    source_low is not None
-                    and low is not None
-                    and source_low <= low + window
-                ):
-                    self._refill()
+                if source_low is not None:
+                    if self._low_dirty:
+                        self._refill()
+                    else:
+                        low = self._low_cache
+                        if low is not None and source_low <= low + window:
+                            self._refill()
 
-            # Sweep 1 -- emptiness, the earliest head (for the streaming
-            # ceiling check) and Rule 1: the earliest head RECEIVE whose
-            # SEND sits in the mmap.
-            empty = True
-            earliest_ts = math.inf
-            candidate: Optional[Activity] = None
-            candidate_node: Optional[str] = None
-            for node, queue in queues.items():
-                if not queue:
-                    continue
-                empty = False
-                head = queue[0]
-                ts = head.timestamp
-                if ts < earliest_ts:
-                    earliest_ts = ts
-                if head.type is receive_type and mmap_pending_get(head.message_key):
-                    if candidate is None or ts < candidate.timestamp:
-                        candidate = head
-                        candidate_node = node
-            if empty:
+            decision = select(ceiling)
+            code = decision & 7
+            if code < EMPTY:  # RULE1 or RULE2: deliver the winning head
+                if code == RULE1:
+                    stats.rule1_selections += 1
+                else:
+                    stats.rule2_selections += 1
+                # Inline fast delivery (the mirror of ``_deliver``, minus
+                # the identity-removal branch: the kernel's winner is by
+                # construction the current head of its slot's queue).
+                slot = decision >> 3
+                node = nodes[slot]
+                queue = slot_queues[slot]
+                activity = queue.popleft()
+                if activity.send_like:
+                    self._note_dequeued(node, activity)
+                if node == self._low_node:
+                    self._low_dirty = True
+                if queue:
+                    head = queue[0]
+                    ts = head.timestamp
+                    priority = head.priority
+                    head_ts[slot] = ts
+                    head_pri[slot] = priority
+                    head_seq[slot] = head.seq
+                    head_keys[slot] = (
+                        head.message_key if priority == 3 else None
+                    )
+                    if not self._low_dirty:
+                        # Delivering from a promoted prefix can expose a
+                        # head *below* the cached minimum even on a
+                        # non-low node (see ``_deliver``).
+                        low = self._low_cache
+                        if low is not None and ts < low:
+                            self._low_dirty = True
+                else:
+                    head_ts[slot] = math.inf
+                self._buffered_total -= 1
+                stats.delivered += 1
+                return activity
+            if code == DISCARD:
+                # Noise heads: no matching SEND pending, buffered or
+                # awaiting fetch anywhere.  Pop them all and reselect.
+                count = decision >> 3
+                discard_out = self._discard_out
+                for position in range(count):
+                    slot = discard_out[position]
+                    node = nodes[slot]
+                    queue = slot_queues[slot]
+                    queue.popleft()
+                    if node == self._low_node:
+                        self._low_dirty = True
+                    self._refresh_slot(slot, queue)
+                self._buffered_total -= count
+                stats.noise_discarded += count
+                continue
+            if code == EMPTY:
                 if self.exhausted():
                     return None
                 # Window too small to admit any activity: force progress by
@@ -418,92 +571,28 @@ class Ranker:
                 if not self._force_fetch_one():
                     return None
                 continue
-
-            if streaming and earliest_ts > ceiling:
+            if code == STALL:
                 return None  # nothing decidable yet: wait for the watermark
 
-            if candidate is not None:
-                if candidate.timestamp > ceiling:
-                    return None
-                self.stats.rule1_selections += 1
-                return self._deliver(candidate_node, candidate)
-
-            # Rule 1 missed, so no RECEIVE head has an mmap match -- every
-            # RECEIVE head below is either *noise* (no matching SEND
-            # buffered or awaiting fetch anywhere: discard), *blocked* (a
-            # matching SEND exists but has not been delivered: never
-            # selectable) or, above the ceiling, undecidable-yet-eligible.
-            # Sweep 2 classifies the heads, discards the noise and tracks
-            # the Rule-2 minimum among the eligible ones, without
-            # re-consulting the mmap the three separate passes used to.
-            discarded = False
-            best: Optional[Activity] = None
-            best_node: Optional[str] = None
-            best_priority = best_ts = best_seq = 0
-            blocked: Optional[List[Tuple[str, Activity]]] = None
-            future = self._future_send_keys
-            buffered = self._buffered_send_index
-            for node, queue in queues.items():
-                if not queue:
+            # BLOCKED: every selectable head is a RECEIVE blocked on an
+            # undelivered SEND; resolve the disturbance and try again.
+            # Only heads below the ceiling are acted on in streaming mode
+            # -- for newer heads the blocking SEND may not be ingested yet.
+            count = decision >> 3
+            if count:
+                blocked = []
+                blocked_out = self._blocked_out
+                for position in range(count):
+                    node = nodes[blocked_out[position]]
+                    blocked.append((node, queues[node][0]))
+                if self._resolve_blockage(blocked):
                     continue
-                head = queue[0]
-                if head.type is receive_type:
-                    key = head.message_key
-                    if key in buffered or future.get(key, 0) > 0:
-                        if not streaming or head.timestamp <= ceiling:
-                            if blocked is None:
-                                blocked = []
-                            blocked.append((node, head))
-                        continue
-                    if head.timestamp <= ceiling:
-                        queue.popleft()
-                        if node == self._low_node:
-                            self._low_dirty = True
-                        self.stats.noise_discarded += 1
-                        discarded = True
-                        continue
-                    # above the ceiling: the noise verdict is not final,
-                    # so the head stays eligible (and will stall below)
-                if discarded:
-                    continue  # heads changed; selection restarts anyway
-                priority = head.priority
-                ts = head.timestamp
-                if (
-                    best is None
-                    or priority < best_priority
-                    or (
-                        priority == best_priority
-                        and (
-                            ts < best_ts
-                            or (ts == best_ts and head.seq < best_seq)
-                        )
-                    )
-                ):
-                    best = head
-                    best_node = node
-                    best_priority = priority
-                    best_ts = ts
-                    best_seq = head.seq
-            if discarded:
-                continue
-            if best is not None:
-                if best.timestamp > ceiling:
-                    return None
-                self.stats.rule2_selections += 1
-                return self._deliver(best_node, best)
 
-            # Every head is a RECEIVE blocked on an undelivered SEND:
-            # resolve the disturbance and try again.  Only heads below the
-            # ceiling are acted on in streaming mode -- for newer heads the
-            # blocking SEND may not have been ingested yet.
-            if blocked and self._resolve_blockage(blocked):
-                continue
-
-            if streaming:
-                # The blocking SENDs have not been ingested yet; delivering
-                # the RECEIVEs now would misclassify them.  Stall until the
-                # sender's stream catches up (or until flush lifts the
-                # ceiling and the batch fallback below applies).
+            if ceiling != math.inf:
+                # Streaming: the blocking SENDs have not been ingested
+                # yet; delivering the RECEIVEs now would misclassify them.
+                # Stall until the sender's stream catches up (or until
+                # flush lifts the ceiling and the batch fallback applies).
                 return None
 
             # Could not make progress (should not happen with well-formed
@@ -615,7 +704,13 @@ class Ranker:
 
     def _enqueue(self, node: str, taken: Sequence[Activity]) -> None:
         """Append fetched activities to a queue and index their sends."""
-        self._queues[node].extend(taken)
+        queue = self._queues[node]
+        was_empty = not queue
+        queue.extend(taken)
+        self._buffered_total += len(taken)
+        if was_empty:
+            # Appends only change the head of a previously empty queue.
+            self._refresh_slot(self._slot_of[node], queue)
         index = self._buffered_send_index
         for activity in taken:
             if activity.send_like:
@@ -679,6 +774,8 @@ class Ranker:
             low = self._low_cache
             if low is not None and queue[0].timestamp < low:
                 self._low_dirty = True
+        self._refresh_slot(self._slot_of[node], queue)
+        self._buffered_total -= 1
         self.stats.delivered += 1
         return activity
 
@@ -822,5 +919,6 @@ class Ranker:
                     del entries[position]
                     break
             entries.appendleft(send)
+        self._refresh_slot(self._slot_of[node], queue)
         self._low_dirty = True
         self.stats.head_swaps += 1

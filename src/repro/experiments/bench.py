@@ -27,7 +27,12 @@ Schema (one JSON object per file)::
     }
 
 Timing fields inside ``rows`` keep whatever unit the figure generator
-used (seconds for correlation times, entry counts for memory).
+used (seconds for correlation times, entry counts for memory).  Every
+row additionally carries the active rank-kernel backend and the reason
+it was selected (``kernel`` / ``kernel_requested`` / ``kernel_reason``,
+see :mod:`repro.core.kernel`), so a document is self-describing about
+what was measured; comparisons match on the key/value columns only and
+therefore tolerate baselines that predate these columns.
 
 As a perf-regression gate
 -------------------------
@@ -56,6 +61,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from ..core.kernel import kernel_provenance
 from .config import default_scale
 from .figures import FigureResult
 
@@ -88,6 +94,16 @@ def bench_payload(
     """
     if scale_name is None:
         scale_name = default_scale().name
+    # Every row carries the active kernel backend and why it was
+    # selected: a BENCH file must be self-describing about *what* was
+    # measured, or cross-machine comparisons silently mix backends.
+    # Comparison code matches on key/value columns only, so old
+    # baselines without these columns still compare cleanly.
+    provenance = kernel_provenance()
+    rows = [{**row, **provenance} for row in result.rows]
+    columns = list(result.columns) + [
+        column for column in provenance if column not in result.columns
+    ]
     return {
         "figure_id": result.figure_id,
         "title": result.title,
@@ -96,8 +112,8 @@ def bench_payload(
         "platform": platform.platform(),
         "scale": scale_name,
         "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "columns": list(result.columns),
-        "rows": list(result.rows),
+        "columns": columns,
+        "rows": rows,
         "notes": result.notes,
     }
 

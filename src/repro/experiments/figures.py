@@ -168,7 +168,11 @@ def figure9(
     )
     for clients in scale.client_series:
         run = get_run(_base_config(scale, clients=clients), cache)
-        trace = run.trace(window=0.010)
+        # Median of three timed traces per point: a single cold run mixes
+        # interpreter warm-up into the smallest points, and the committed
+        # baselines are medians too -- comparisons should be like-for-like.
+        traces = [run.trace(window=0.010) for _ in range(3)]
+        trace = sorted(traces, key=lambda t: t.correlation_time)[1]
         result.rows.append(
             {
                 "clients": clients,
@@ -907,8 +911,10 @@ def figure_interning(
     )
     for clients in scale.window_clients:
         run = get_run(_base_config(scale, clients=clients), cache)
-        baseline_live = _count_live_activities()
+        # collect first: garbage left over from earlier figures would
+        # inflate the baseline and undercount the object list's share
         gc.collect()
+        baseline_live = _count_live_activities()
         tracemalloc.start()
         objects = run.activities()
         gc.collect()

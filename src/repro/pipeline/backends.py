@@ -284,6 +284,11 @@ class BackendSpec:
             parts.append(f"schedule={self.schedule}")
         if self.sampling is not None:
             parts.append(f"sampling={self.sampling.describe()}")
+        # Which rank-kernel backend the drivers will run on (resolved
+        # from the current environment; every backend kind uses it).
+        from ..core.kernel import kernel_info
+
+        parts.append(f"kernel={kernel_info().name}")
         return f"{self.kind} ({', '.join(parts)})"
 
 

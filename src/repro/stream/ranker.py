@@ -159,6 +159,9 @@ class StreamingRanker(Ranker):
                 source = GrowingSource(node, registry=self._future_send_keys)
                 self._sources[node] = source
                 self._queues[node] = deque()
+                # Grow the kernel head columns: new node, new sweep slot
+                # (appended, so the established scan order is preserved).
+                self._register_slot(node)
             source.extend(batch)
         if count:
             # Source frontiers moved: both cached minima are stale.

@@ -36,9 +36,20 @@ class TestBenchWriter:
         assert doc["figure_id"] == "fig9"
         assert doc["label"] == "unit test"
         assert doc["rows"][0]["clients"] == 100
-        assert doc["columns"] == ["clients", "requests", "correlation_time_s"]
+        assert doc["columns"] == [
+            "clients",
+            "requests",
+            "correlation_time_s",
+            "kernel",
+            "kernel_requested",
+            "kernel_reason",
+        ]
         assert doc["python"]  # provenance recorded
         assert doc["created_at"]
+        # every row is stamped with the active kernel backend
+        for row in doc["rows"]:
+            assert row["kernel"] in ("python", "native")
+            assert row["kernel_reason"]
 
     def test_explicit_scale_name_overrides_environment(self, tmp_path, monkeypatch):
         # a caller that resolved the scale itself (e.g. `repro --scale full

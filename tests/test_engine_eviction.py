@@ -4,9 +4,10 @@ Watermark eviction (streaming mode) interacts with the engine's n-to-n
 kernel-part merging in two subtle ways:
 
 * a pending SEND can be evicted while a *partial* RECEIVE is still
-  outstanding -- every piece of per-SEND bookkeeping (``_partial_receive``,
-  ``_owner`` once the CAG goes too) must be reclaimed with it, and a
-  recycled connection key must match the new traffic, never the ghost;
+  outstanding -- every piece of matching bookkeeping (parked
+  receive-backlog parts, ``_owner`` once the CAG goes too) must be
+  reclaimed with it, and a recycled connection key must match the new
+  traffic, never the ghost;
 * merging a late kernel part into an existing BEGIN/SEND/END vertex grows
   the vertex in place without adding a new one, so the context's ``cmap``
   recency and the open CAG's newest-activity timestamp must be refreshed
@@ -62,9 +63,9 @@ def open_request(engine, begin_ts=1.0, request_id=1):
 
 class TestSegmentedEviction:
     def test_evicting_pending_send_drops_partial_receive_entry(self):
-        """A SEND whose RECEIVE only partially arrived is evicted: the
-        ``_partial_receive`` entry must go with it (no leak, no ghost
-        completion), while the rest of the CAG's state survives."""
+        """A SEND whose RECEIVE only partially arrived is evicted: no
+        matching state may leak (no ghost completion), while the rest of
+        the CAG's state survives."""
         engine = CorrelationEngine()
         open_request(engine)
         send = act(ActivityType.SEND, 1.1, WEB_CTX, CONN_KEY, 100, 1)
@@ -85,12 +86,12 @@ class TestSegmentedEviction:
         )
         engine.process(partial)
         assert engine.stats.partial_receives == 1
-        assert engine._partial_receive  # the partial match is parked
+        assert send.size == 60  # 40 of 100 bytes matched so far
 
         evicted = engine.evict_stale(before=1.3)
         assert engine.stats.evicted_mmap_entries == 1
         assert evicted >= 1
-        assert engine._partial_receive == {}  # reclaimed with its SEND
+        assert engine._backlog_size == 0  # no matching state leaked
         assert not engine.mmap.has_match(mkey(CONN_KEY))
         assert engine.mmap.has_match(mkey(other_key))  # fresh entry untouched
         assert len(engine.open_cags) == 1  # the CAG itself is still live
@@ -111,7 +112,7 @@ class TestSegmentedEviction:
     def test_evicted_then_recycled_connection_key_matches_new_traffic(self):
         """After a whole request is evicted, a new request reusing the same
         connection 4-tuple must match its own SEND -- and no ``_owner`` or
-        ``_partial_receive`` entries of the ghost may survive."""
+        receive-backlog entries of the ghost may survive."""
         engine = CorrelationEngine()
         open_request(engine, begin_ts=1.0, request_id=1)
         ghost_send = act(ActivityType.SEND, 1.1, WEB_CTX, CONN_KEY, 100, 1)
@@ -132,7 +133,7 @@ class TestSegmentedEviction:
         assert engine.stats.evicted_mmap_entries == 1
         assert engine.open_cags == []
         assert engine._owner == {}  # no stale ownership
-        assert engine._partial_receive == {}  # no stale partial matches
+        assert engine._backlog_size == 0  # no stale partial matches
         assert len(engine.mmap) == 0
 
         # request 2 recycles the exact connection key
@@ -152,7 +153,35 @@ class TestSegmentedEviction:
         assert not engine.mmap.has_match(mkey(CONN_KEY))  # fully matched
         (cag,) = engine.open_cags
         assert cag.request_ids() == {2}
-        assert engine._partial_receive == {}
+        assert engine._backlog_size == 0
+
+    def test_evicting_parked_oversized_receive_part(self):
+        """A receive part whose bytes ran ahead of the sender's merged
+        writes parks in the backlog; when its SEND never balances within
+        the horizon, eviction must reclaim the parked part too."""
+        engine = CorrelationEngine()
+        open_request(engine)
+        send = act(ActivityType.SEND, 1.1, WEB_CTX, CONN_KEY, 100, 1)
+        engine.process(send)
+        oversized = act(
+            ActivityType.RECEIVE,
+            1.15,
+            ContextId("app", "java", 250, 250),
+            CONN_KEY,
+            140,
+            1,
+        )
+        engine.process(oversized)
+        assert engine.stats.oversized_receives == 1
+        assert send.size == 0  # balanced, awaiting a possible merge
+        assert engine._backlog_size == 1  # 40 leftover bytes parked
+
+        evicted = engine.evict_stale(before=1.3)
+        assert evicted >= 2  # the SEND and the parked part
+        assert engine.stats.evicted_mmap_entries == 1
+        assert engine.stats.evicted_backlog_parts == 1
+        assert engine._backlog_size == 0
+        assert engine._recv_backlog == {}
 
 
 class TestMergeRecency:
@@ -255,7 +284,7 @@ class TestSampledOutPurge:
         assert engine.cmap.recency(ckey(WEB_CTX)) is None
         assert len(engine.mmap) == 0
         assert engine._owner == {}
-        assert engine._partial_receive == {}
+        assert engine._backlog_size == 0
         assert engine.pending_state_size() == 0
 
     def test_eviction_drops_tombstones_without_retaining_them(self):
@@ -272,7 +301,7 @@ class TestSampledOutPurge:
             1,
         )
         engine.process(partial)
-        assert engine._partial_receive  # parked against the pending SEND
+        assert send.size == 60  # partially matched against the tombstone
 
         evicted = engine.evict_stale(before=5.0)
         assert evicted >= 1
@@ -283,7 +312,7 @@ class TestSampledOutPurge:
         assert engine._evicted == []
         assert engine._open == {}
         assert engine._owner == {}
-        assert engine._partial_receive == {}
+        assert engine._backlog_size == 0
         assert len(engine.mmap) == 0
         assert len(engine.cmap) == 0
 

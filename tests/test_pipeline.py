@@ -341,11 +341,16 @@ class TestBackendSpec:
             BackendSpec.sharded(executor="fiber")
 
     def test_describe_names_the_driver_and_knobs(self):
-        assert BackendSpec.batch(window=0.002).describe() == "batch (window=0.002s)"
+        batch = BackendSpec.batch(window=0.002).describe()
+        assert batch.startswith("batch (window=0.002s")
+        # every kind reports the active rank-kernel backend
+        assert "kernel=python" in batch or "kernel=native" in batch
         streaming = BackendSpec.streaming(horizon=5.0).describe()
         assert "streaming" in streaming and "horizon=5s" in streaming
+        assert "kernel=" in streaming
         sharded = BackendSpec.sharded(executor="process", max_shards=8).describe()
         assert "executor=process" in sharded and "max_shards=8" in sharded
+        assert "kernel=" in sharded
 
     def test_sharded_result_reports_shard_sizes(self, tiny_run):
         result = BackendSpec.sharded(window=MATRIX_WINDOW, max_shards=4).correlate(

@@ -337,7 +337,7 @@ class TestEngineTombstones:
         assert engine.stats.finished_cags == 0
         # every piece of per-request state was purged at completion
         assert engine._owner == {}
-        assert engine._partial_receive == {}
+        assert engine._backlog_size == 0
         assert len(engine.mmap) == 0
         assert len(engine.cmap) == 0  # context entries purged with the tombstone
 
