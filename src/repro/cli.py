@@ -36,6 +36,11 @@ Examples::
     # the nightly variant: more seeds, wall-clock bounded, JSON artifact
     precisetracer fuzz --seeds 50 --budget 600 --output fuzz_report.json
 
+    # append runs to a persistent trace store, then query the history
+    precisetracer simulate --scenario rubis --store traces.sqlite --run-id day1
+    precisetracer query latency --store traces.sqlite --run day1 --bucket 1
+    precisetracer query diff day1 day2 --store traces.sqlite --tolerance 0.25
+
     # list the available figures
     precisetracer list
 
@@ -72,6 +77,16 @@ Commands
     failing seed is shrunk to a minimal ``(seed, limits)`` repro and
     printed (and written to ``--output`` as JSON when given); the exit
     status is 1 when any seed fails, so CI can gate on it.
+``query``
+    Query a persistent trace store (``repro.store``): ``runs`` lists the
+    stored runs, ``latency`` reports percentiles (optionally bucketed
+    over time and filtered by pattern/scenario), ``patterns`` shows the
+    pattern mix of a run (and, with ``--against``, the mix drift between
+    two runs), ``diff`` is the regression gate -- two runs' ranked
+    reports compared pattern-by-pattern with a ``--tolerance`` on p50/p95
+    movement, exit 1 on regression -- and ``export`` writes the diffable
+    run-summary JSON (the golden-file format CI diffs against).  Stores
+    are written by ``trace``/``simulate``/``stream`` via ``--store``.
 ``profile``
     Regenerate a performance figure (Fig. 9 correlation-time sweep by
     default, or the Fig. 11s streaming-memory sweep), write its
@@ -112,6 +127,7 @@ from .pipeline import (
     RunSource,
     SamplingAccuracyStage,
     SamplingSpec,
+    StoreSink,
     TraceSession,
 )
 from .core.export import trace_summary
@@ -125,6 +141,25 @@ from .topology.library import ScenarioConfig, get_scenario, scenario_names
 
 #: Fault scenario names accepted by ``--fault``.
 FAULT_CHOICES = ["none", "ejb_delay", "database_lock", "ejb_network"]
+
+
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    """The trace-store flags shared by trace/simulate/stream."""
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="FILE",
+        help=(
+            "append this run to a persistent SQLite trace store "
+            "(created if missing; query it with `precisetracer query`)"
+        ),
+    )
+    parser.add_argument(
+        "--run-id",
+        default=None,
+        metavar="ID",
+        help="run id to store the run under (requires --store; default: generated)",
+    )
 
 
 def _add_sampling_flags(parser: argparse.ArgumentParser) -> None:
@@ -197,6 +232,7 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--fault", choices=FAULT_CHOICES, default="none")
     trace_parser.add_argument("--seed", type=int, default=17)
     _add_sampling_flags(trace_parser)
+    _add_store_flags(trace_parser)
     trace_parser.add_argument(
         "--json", action="store_true", help="print the trace summary as JSON"
     )
@@ -235,6 +271,7 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--fault", choices=FAULT_CHOICES, default="none")
     simulate_parser.add_argument("--seed", type=int, default=17)
     _add_sampling_flags(simulate_parser)
+    _add_store_flags(simulate_parser)
     simulate_parser.add_argument(
         "--json", action="store_true", help="print the trace summary as JSON"
     )
@@ -336,6 +373,7 @@ def _build_parser() -> argparse.ArgumentParser:
     stream_parser.add_argument("--fault", choices=FAULT_CHOICES, default="none")
     stream_parser.add_argument("--seed", type=int, default=17)
     _add_sampling_flags(stream_parser)
+    _add_store_flags(stream_parser)
     stream_parser.add_argument(
         "--json", action="store_true", help="print the trace summary as JSON"
     )
@@ -369,6 +407,111 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cprofile",
         action="store_true",
         help="also cProfile one batch correlation run and print the hot spots",
+    )
+
+    query_parser = subparsers.add_parser(
+        "query",
+        help="query a persistent trace store written via --store",
+    )
+    query_sub = query_parser.add_subparsers(dest="query_command", required=True)
+
+    def _query_store_flag(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--store",
+            default=None,
+            metavar="FILE",
+            help="trace store database file (written by trace/simulate/stream --store)",
+        )
+
+    runs_parser = query_sub.add_parser("runs", help="list the runs in a store")
+    _query_store_flag(runs_parser)
+    runs_parser.add_argument(
+        "--json", action="store_true", help="print the run rows as JSON"
+    )
+
+    latency_parser = query_sub.add_parser(
+        "latency",
+        help="latency percentiles, optionally bucketed over time",
+    )
+    _query_store_flag(latency_parser)
+    latency_parser.add_argument(
+        "--run", default=None, metavar="ID", help="restrict to one run (default: all)"
+    )
+    latency_parser.add_argument(
+        "--pattern",
+        default=None,
+        metavar="P",
+        help="pattern label or signature-hash prefix (>= 6 chars)",
+    )
+    latency_parser.add_argument(
+        "--scenario", default=None, metavar="NAME", help="restrict to one scenario"
+    )
+    latency_parser.add_argument(
+        "--since", type=float, default=None, metavar="SECS",
+        help="only requests beginning at or after this trace time",
+    )
+    latency_parser.add_argument(
+        "--until", type=float, default=None, metavar="SECS",
+        help="only requests beginning before this trace time",
+    )
+    latency_parser.add_argument(
+        "--bucket", type=float, default=None, metavar="SECS",
+        help="group into time buckets of this width (default: one row)",
+    )
+    latency_parser.add_argument(
+        "--json", action="store_true", help="print the rows as JSON"
+    )
+
+    patterns_parser = query_sub.add_parser(
+        "patterns",
+        help="pattern mix of a run; with --against, the mix drift between two runs",
+    )
+    _query_store_flag(patterns_parser)
+    patterns_parser.add_argument("--run", required=True, metavar="ID")
+    patterns_parser.add_argument(
+        "--against",
+        default=None,
+        metavar="ID",
+        help="second run: report mix drift --run -> --against instead",
+    )
+    patterns_parser.add_argument(
+        "--json", action="store_true", help="print the rows as JSON"
+    )
+
+    diff_parser = query_sub.add_parser(
+        "diff",
+        help=(
+            "regression diff of two runs' ranked reports; each side is a "
+            "run id in --store or an exported run-summary JSON file; "
+            "exit 1 on regression"
+        ),
+    )
+    _query_store_flag(diff_parser)
+    diff_parser.add_argument(
+        "runs",
+        nargs="*",
+        metavar="RUN",
+        help="baseline and candidate (run id or run-summary JSON file)",
+    )
+    diff_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="allowed relative p50/p95 increase before a pattern regresses (default: 0.25)",
+    )
+    diff_parser.add_argument(
+        "--json", action="store_true", help="print the diff document as JSON"
+    )
+
+    export_parser = query_sub.add_parser(
+        "export",
+        help="write one run's diffable summary JSON (the golden-file format)",
+    )
+    _query_store_flag(export_parser)
+    export_parser.add_argument("--run", required=True, metavar="ID")
+    export_parser.add_argument(
+        "--output", default=None, metavar="FILE", help="write here instead of stdout"
     )
 
     fuzz_parser = subparsers.add_parser(
@@ -464,6 +607,21 @@ def _sampling_from_args(args: argparse.Namespace) -> Optional[SamplingSpec]:
 # Shared pipeline plumbing for trace / simulate / stream
 # ---------------------------------------------------------------------------
 
+def _store_sink_from_args(
+    args: argparse.Namespace, scenario: Optional[str]
+) -> Optional[StoreSink]:
+    """Build the :class:`StoreSink` behind ``--store``/``--run-id``.
+
+    Raises :class:`ValueError` with a user-facing message on invalid
+    combinations; the commands convert that into the exit-2 path.
+    """
+    if args.run_id is not None and args.store is None:
+        raise ValueError("--run-id requires --store")
+    if args.store is None:
+        return None
+    return StoreSink(args.store, run_id=args.run_id, scenario=scenario)
+
+
 def _shared_run_fields(args: argparse.Namespace, up_ramp: float = 1.5) -> dict:
     """The run-config fields ``trace``/``simulate``/``stream`` all share.
 
@@ -538,6 +696,7 @@ def _print_sampling_report(session: TraceSession) -> None:
 def _command_trace(args: argparse.Namespace) -> int:
     try:
         sampling = _sampling_from_args(args)
+        store_sink = _store_sink_from_args(args, scenario="rubis")
     except ValueError as exc:
         return _fail(str(exc))
     config = RubisConfig(
@@ -554,10 +713,18 @@ def _command_trace(args: argparse.Namespace) -> int:
         source=config,
         backend=BackendSpec.batch(window=args.window, sampling=sampling),
         stages=[analysis, ProfileStage("trace")],
+        sinks=[store_sink] if store_sink is not None else (),
     )
-    session = pipeline.run()
+    try:
+        session = pipeline.run()
+    except ValueError as exc:
+        # Store-side refusals (finalized duplicate run id, bad store file).
+        return _fail(str(exc))
     if args.json:
-        print(_session_json(session, "trace"))
+        extra = {}
+        if store_sink is not None:
+            extra = {"store": args.store, "store_run_id": store_sink.run_id}
+        print(_session_json(session, "trace", **extra))
         return 0
     run = session.run
     trace = session.trace
@@ -577,6 +744,8 @@ def _command_trace(args: argparse.Namespace) -> int:
     print("latency percentages of the dominant pattern:")
     for label, value in sorted(profile.percentages.items()):
         print(f"  {label:16s} {value:6.1f} %")
+    if store_sink is not None:
+        print(f"stored as run           : {store_sink.run_id} -> {args.store}")
     return 0
 
 
@@ -595,6 +764,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
         )
     try:
         sampling = _sampling_from_args(args)
+        store_sink = _store_sink_from_args(args, scenario=args.scenario)
     except ValueError as exc:
         return _fail(str(exc))
     scenario = get_scenario(args.scenario)
@@ -610,10 +780,18 @@ def _command_simulate(args: argparse.Namespace) -> int:
         source=config,
         backend=BackendSpec.batch(window=args.window, sampling=sampling),
         stages=[analysis, ProfileStage(scenario.name), PatternStage()],
+        sinks=[store_sink] if store_sink is not None else (),
     )
-    session = pipeline.run()
+    try:
+        session = pipeline.run()
+    except ValueError as exc:
+        # Store-side refusals (finalized duplicate run id, bad store file).
+        return _fail(str(exc))
     if args.json:
-        print(_session_json(session, "simulate", scenario=scenario.name))
+        extra = {"scenario": scenario.name}
+        if store_sink is not None:
+            extra.update(store=args.store, store_run_id=store_sink.run_id)
+        print(_session_json(session, "simulate", **extra))
         return 0
     run = session.run
     trace = session.trace
@@ -641,6 +819,8 @@ def _command_simulate(args: argparse.Namespace) -> int:
     print("latency percentages of the dominant pattern:")
     for label, value in sorted(profile.percentages.items()):
         print(f"  {label:24s} {value:6.1f} %")
+    if store_sink is not None:
+        print(f"stored as run           : {store_sink.run_id} -> {args.store}")
     return 0
 
 
@@ -659,6 +839,9 @@ def _command_stream(args: argparse.Namespace) -> int:
         return _fail("--shards must be non-negative")
     try:
         sampling = _sampling_from_args(args)
+        store_sink = _store_sink_from_args(
+            args, scenario=None if args.input else args.scenario
+        )
     except ValueError as exc:
         return _fail(str(exc))
 
@@ -744,19 +927,35 @@ def _command_stream(args: argparse.Namespace) -> int:
     activities = source.activities()
     wall_start = time.perf_counter()
     try:
-        trace = backend.trace(activities)
+        # The store sink ingests live, at the cadence CAGs finish -- on
+        # the incremental driver that means chunk-boundary commits, so a
+        # long run persists as it goes (and composes with --checkpoint:
+        # ingest is idempotent, so re-emitted CAGs after --resume are
+        # no-ops).
+        trace = backend.trace(
+            activities,
+            on_cag=store_sink.on_cag if store_sink is not None else None,
+        )
     except (ValueError, OSError) as exc:
-        # Bad/missing/mismatched checkpoint files surface here.
+        # Bad/missing/mismatched checkpoint files (and store refusals,
+        # e.g. a finalized duplicate --run-id) surface here.
         return _fail(str(exc))
     wall = time.perf_counter() - wall_start
     trace.filtered_records = source.filtered_records
     session = TraceSession(source=source, backend=backend, trace=trace)
+    if store_sink is not None:
+        try:
+            session.artifacts[store_sink.name] = store_sink.write(session)
+        except ValueError as exc:
+            return _fail(str(exc))
     result = trace.correlation
 
     if args.json:
         extra = {"wall_clock_s": wall}
         if result.shard_sizes is not None:
             extra["shards"] = len(result.shard_sizes)
+        if store_sink is not None:
+            extra.update(store=args.store, store_run_id=store_sink.run_id)
         print(_session_json(session, "stream", **extra))
         return 0
 
@@ -787,7 +986,177 @@ def _command_stream(args: argparse.Namespace) -> int:
     if sampling is None and session.source.ground_truth is not None:
         report = session.accuracy()
         print(f"path accuracy           : {report.accuracy * 100:.2f} %")
+    if store_sink is not None:
+        print(f"stored as run           : {store_sink.run_id} -> {args.store}")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# `query`: the persistent trace store
+# ---------------------------------------------------------------------------
+
+def _open_store(args: argparse.Namespace):
+    """Open the store named by ``--store`` read-only-ish, or raise ValueError."""
+    from .store import TraceStore
+
+    if not args.store:
+        raise ValueError(
+            "--store FILE is required (write one with "
+            "`precisetracer trace/simulate/stream --store FILE`)"
+        )
+    return TraceStore.open(args.store)
+
+
+def _format_stats(row: dict, indent: str = "") -> str:
+    if not row.get("count"):
+        return f"{indent}(no finished requests)"
+    return (
+        f"{indent}n={row['count']:<6d} "
+        f"p50={row['p50_s'] * 1000:8.2f}ms  "
+        f"p90={row['p90_s'] * 1000:8.2f}ms  "
+        f"p95={row['p95_s'] * 1000:8.2f}ms  "
+        f"p99={row['p99_s'] * 1000:8.2f}ms  "
+        f"max={row['max_s'] * 1000:8.2f}ms"
+    )
+
+
+def _query_runs(args: argparse.Namespace) -> int:
+    with _open_store(args) as store:
+        rows = store.runs()
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    if not rows:
+        print("(store is empty)")
+        return 0
+    for row in rows:
+        state = "finalized" if row["finalized"] else "open"
+        print(
+            f"{row['run_id']:24s} {state:9s} requests={row['requests']:<6d} "
+            f"scenario={row['scenario'] or '-':18s} "
+            f"backend={row['backend'] or '-'}"
+        )
+    return 0
+
+
+def _query_latency(args: argparse.Namespace) -> int:
+    from .store import latency_over_windows
+
+    if args.bucket is not None and args.bucket <= 0:
+        return _fail("--bucket must be positive")
+    with _open_store(args) as store:
+        rows = latency_over_windows(
+            store,
+            run_id=args.run,
+            pattern=args.pattern,
+            scenario=args.scenario,
+            since=args.since,
+            until=args.until,
+            bucket_s=args.bucket,
+        )
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    for row in rows:
+        prefix = f"t={row['begin_s']:8.2f}s  " if args.bucket is not None else ""
+        print(f"{prefix}{_format_stats(row)}")
+    return 0
+
+
+def _query_patterns(args: argparse.Namespace) -> int:
+    from .store import mix_drift, pattern_mix
+
+    with _open_store(args) as store:
+        if args.against is not None:
+            rows = mix_drift(store, args.run, args.against)
+        else:
+            rows = pattern_mix(store, args.run)
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    if args.against is not None:
+        for row in rows:
+            print(
+                f"{row['status']:9s} {row['pattern'][:12]}  "
+                f"{row['base_count']:5d} -> {row['current_count']:5d}  "
+                f"share {row['base_share'] * 100:5.1f}% -> "
+                f"{row['current_share'] * 100:5.1f}% "
+                f"({row['share_delta'] * 100:+5.1f} pp)  {row['label']}"
+            )
+        return 0
+    for row in rows:
+        print(
+            f"{row['pattern'][:12]}  {row['count']:5d} paths "
+            f"({row['share'] * 100:5.1f}%)  "
+            f"{_format_stats(row)}  {row['label']}"
+        )
+    return 0
+
+
+def _query_diff(args: argparse.Namespace) -> int:
+    import os
+
+    from .store import diff_summaries, load_run_summary, run_summary
+
+    if len(args.runs) != 2:
+        return _fail(
+            "diff needs exactly two runs: a baseline and a candidate "
+            "(run ids in --store, or exported run-summary JSON files)"
+        )
+    if args.tolerance <= 0:
+        return _fail(f"--tolerance must be positive, got {args.tolerance:g}")
+
+    def side(token: str):
+        # A side naming an existing file (or anything .json) is an
+        # exported summary; everything else is a run id in the store.
+        if token.endswith(".json") or os.path.exists(token):
+            return load_run_summary(token)
+        store = _open_store(args)
+        with store:
+            return run_summary(store, token)
+
+    try:
+        base = side(args.runs[0])
+        current = side(args.runs[1])
+        diff = diff_summaries(base, current, tolerance=args.tolerance)
+    except ValueError as exc:
+        return _fail(str(exc))
+    if args.json:
+        print(json.dumps(diff.payload(), indent=2, sort_keys=True))
+    else:
+        print(diff.describe())
+    return 0 if diff.ok else 1
+
+
+def _query_export(args: argparse.Namespace) -> int:
+    from .store import run_summary
+
+    with _open_store(args) as store:
+        document = run_summary(store, args.run)
+    text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"run summary written to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    handlers = {
+        "runs": _query_runs,
+        "latency": _query_latency,
+        "patterns": _query_patterns,
+        "diff": _query_diff,
+        "export": _query_export,
+    }
+    try:
+        return handlers[args.query_command](args)
+    except ValueError as exc:
+        # Missing/invalid store files, schema mismatches, unknown run
+        # ids, unknown patterns -- all the one-line exit-2 paths.
+        return _fail(str(exc))
 
 
 def _command_profile(args: argparse.Namespace, scale) -> int:
@@ -950,6 +1319,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_simulate(args)
     if args.command == "stream":
         return _command_stream(args)
+    if args.command == "query":
+        return _command_query(args)
     if args.command == "profile":
         return _command_profile(args, scale)
     if args.command == "fuzz":

@@ -87,7 +87,13 @@ def get_run(config, cache: Optional[RunCache] = None) -> RubisRunResult:
     return target.get(config)
 
 
-def trace_run(run: RubisRunResult, backend: BackendSpec) -> TraceResult:
+def trace_run(
+    run: RubisRunResult,
+    backend: BackendSpec,
+    store=None,
+    store_run_id: Optional[str] = None,
+    scenario: Optional[str] = None,
+) -> TraceResult:
     """Trace a completed run through any pipeline backend.
 
     The run's logs are re-classified into fresh activities (the engine
@@ -96,8 +102,25 @@ def trace_run(run: RubisRunResult, backend: BackendSpec) -> TraceResult:
     :class:`~repro.core.tracer.TraceResult` as :meth:`RubisRunResult.trace`,
     so every analysis helper (patterns, profiles, accuracy) applies
     unchanged regardless of the driver.
+
+    ``store`` (a path or an open :class:`~repro.store.TraceStore`)
+    additionally lands the trace in a persistent store under
+    ``store_run_id`` -- how experiment sweeps accumulate a queryable
+    history instead of discarding each trace with the process.
     """
-    return backend.trace(run.activities())
+    trace = backend.trace(run.activities())
+    if store is not None:
+        from ..store import record_trace
+
+        record_trace(
+            store,
+            trace,
+            run_id=store_run_id,
+            scenario=scenario,
+            source=f"experiment run ({run.workload.kind})",
+            backend=backend,
+        )
+    return trace
 
 
 def stream_trace(

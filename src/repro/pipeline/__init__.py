@@ -25,7 +25,8 @@ Entry points
     :class:`BreakdownStage`, :class:`AccuracyStage`, :class:`ProfileStage`,
     :class:`DiagnosisStage`.
 :mod:`sinks <repro.pipeline.sinks>`
-    :class:`SummaryJsonSink`, :class:`CagJsonlSink`, :class:`DotSink`.
+    :class:`SummaryJsonSink`, :class:`CagJsonlSink`, :class:`DotSink`,
+    :class:`StoreSink` (persistent SQLite trace store).
 :func:`verify_equivalence`
     Backend equivalence as an API: identical CAGs and ranked reports
     across backends, checkable (and goldenly pinnable) on any source.
@@ -43,7 +44,7 @@ from .equivalence import (
     verify_equivalence,
 )
 from .facade import Pipeline, TraceSession
-from .sinks import CagJsonlSink, DotSink, Sink, SummaryJsonSink
+from .sinks import CagJsonlSink, DotSink, Sink, StoreSink, SummaryJsonSink
 from .sources import LogSource, MemorySource, RunSource, Source, as_source
 from .stages import (
     AccuracyStage,
@@ -81,6 +82,7 @@ __all__ = [
     "SamplingSpec",
     "Sink",
     "Source",
+    "StoreSink",
     "SummaryJsonSink",
     "TraceSession",
     "as_source",

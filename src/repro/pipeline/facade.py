@@ -140,9 +140,21 @@ class Pipeline:
         ``on_cag`` is forwarded to the backend: on the streaming backend
         it fires per finished CAG *while the stream is consumed* (the
         online monitoring hook); batch/sharded backends fire it after
-        correlation.
+        correlation.  Sinks that expose an ``on_cag`` hook of their own
+        (live sinks, e.g. :class:`~repro.pipeline.sinks.StoreSink`) are
+        fanned into the same callback so they ingest incrementally.
         """
-        trace = self.backend.trace(self.source.activities(), on_cag=on_cag)
+        live_hooks = [sink.on_cag for sink in self.sinks if hasattr(sink, "on_cag")]
+        if on_cag is not None:
+            live_hooks.append(on_cag)
+        callback: Optional[Callable[[CAG], None]] = None
+        if live_hooks:
+
+            def callback(cag: CAG) -> None:
+                for hook in live_hooks:
+                    hook(cag)
+
+        trace = self.backend.trace(self.source.activities(), on_cag=callback)
         # Attribute-filtered record count is a property of classification,
         # which happens inside the source; surface it on the trace the
         # same way PreciseTracer.trace_records does.

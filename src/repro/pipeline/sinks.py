@@ -14,7 +14,17 @@ session (``session.artifacts``).
                          line, the shape downstream dashboards ingest
 :class:`DotSink`         Graphviz DOT files for the first N causal paths
                          (the paper's Fig. 1 view)
+:class:`StoreSink`       one run appended to a persistent SQLite
+                         :class:`~repro.store.TraceStore` -- the queryable
+                         cross-run history behind ``repro query``
 =======================  ==================================================
+
+:class:`StoreSink` is also a *live* sink: it exposes ``on_cag`` and the
+pipeline feeds it every finished CAG as correlation produces it, so a
+streaming run commits request rows incrementally instead of holding the
+whole trace until the end.  Ingest is idempotent, so the final
+``write()`` pass (which also stamps run metadata) re-offering already
+stored CAGs is harmless.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from pathlib import Path
 from typing import List, Optional, Union
 
 from ..core.export import cag_to_dict, cag_to_dot, trace_summary
+from ..store import TraceStore, default_run_id
 
 
 class Sink:
@@ -82,6 +93,81 @@ class CagJsonlSink(Sink):
             for cag in cags:
                 handle.write(json.dumps(cag_to_dict(cag), sort_keys=True))
                 handle.write("\n")
+        return [self.path]
+
+
+class StoreSink(Sink):
+    """Append the run to a persistent :class:`~repro.store.TraceStore`.
+
+    Parameters
+    ----------
+    path:
+        Store database file; created with the current schema if missing.
+    run_id:
+        User-visible id the run is stored under; defaults to a
+        timestamp/pid id from :func:`~repro.store.default_run_id`.
+        Re-using a finalized run's id is refused at ingest time.
+    scenario:
+        Scenario name recorded on the run row (used by cross-run
+        scenario filters); ``None`` for non-library sources.
+    commit_every:
+        How many live-ingested CAGs to batch per SQLite commit.
+    """
+
+    name = "store"
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        run_id: Optional[str] = None,
+        scenario: Optional[str] = None,
+        commit_every: int = 256,
+    ) -> None:
+        if commit_every <= 0:
+            raise ValueError("commit_every must be positive")
+        self.path = Path(path)
+        self.run_id = run_id or default_run_id()
+        self.scenario = scenario
+        self.commit_every = commit_every
+        self._store: Optional[TraceStore] = None
+        self._run_key: Optional[int] = None
+        self._pending = 0
+
+    def _ensure_open(self) -> TraceStore:
+        if self._store is None:
+            self._store = TraceStore(self.path)
+            self._run_key = self._store.begin_run(self.run_id, scenario=self.scenario)
+        return self._store
+
+    def on_cag(self, cag) -> None:
+        """Live ingest hook: store one finished CAG as it is produced."""
+        store = self._ensure_open()
+        if store.ingest_cag(self._run_key, cag):
+            self._pending += 1
+            if self._pending >= self.commit_every:
+                store.commit()
+                self._pending = 0
+
+    def write(self, session) -> List[Path]:
+        store = self._ensure_open()
+        # Idempotent sweep: batch/sharded backends deliver everything
+        # here; for streaming this only catches CAGs on_cag missed.
+        store.ingest_cags(self._run_key, session.trace.cags)
+        sampling = session.backend.sampling
+        store.finalize_run(
+            self._run_key,
+            scenario=self.scenario,
+            source=session.source.describe(),
+            backend=session.backend.describe(),
+            sampling=sampling.describe() if sampling is not None else None,
+            window_s=session.trace.correlation.window,
+            incomplete=len(session.trace.incomplete_cags),
+            correlation_time_s=session.trace.correlation_time,
+        )
+        store.close()
+        self._store = None
+        self._run_key = None
+        self._pending = 0
         return [self.path]
 
 

@@ -1,0 +1,205 @@
+"""Regression diff of two runs' ranked reports -- the CI drift gate.
+
+:func:`diff_summaries` compares two run summaries (see
+:func:`~repro.store.query.run_summary`) pattern by pattern:
+
+* patterns present on one side only are reported as **new** /
+  **vanished** -- a request shape appearing or disappearing is report
+  drift by definition, so either fails the gate;
+* for common patterns, the p50 and p95 end-to-end latencies are
+  compared; a relative increase beyond ``tolerance`` (e.g. ``0.25`` =
+  +25 %) on either percentile is a **regression**.  Improvements and
+  within-tolerance movement pass.
+
+Either side may come straight from a store (``run_summary``) or from a
+committed JSON export (:func:`load_run_summary`), which is how CI diffs
+today's run against a golden file with no store history.  The result is
+deliberately symmetric in structure but not in meaning: the first
+argument is the *baseline*, the second the *candidate* being gated.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .query import RUN_SUMMARY_FORMAT
+
+
+def load_run_summary(path: str) -> Dict[str, object]:
+    """Read an exported run summary, validating the format marker."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise ValueError(f"cannot read run summary {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"run summary {path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or document.get("format") != RUN_SUMMARY_FORMAT:
+        raise ValueError(
+            f"{path} is not an exported run summary (expected format "
+            f"{RUN_SUMMARY_FORMAT!r}; write one with `repro query export`)"
+        )
+    return document
+
+
+@dataclass
+class PatternDelta:
+    """How one pattern moved between the baseline and the candidate."""
+
+    pattern: str
+    label: str
+    status: str  # "common" | "new" | "vanished"
+    base_count: int = 0
+    current_count: int = 0
+    share_delta: float = 0.0
+    base_p50_s: Optional[float] = None
+    current_p50_s: Optional[float] = None
+    base_p95_s: Optional[float] = None
+    current_p95_s: Optional[float] = None
+    p50_change: Optional[float] = None
+    p95_change: Optional[float] = None
+    regressed: bool = False
+
+    def payload(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class RunDiff:
+    """The full diff document: per-pattern rows plus the gate verdict."""
+
+    base_run: str
+    current_run: str
+    tolerance: float
+    rows: List[PatternDelta] = field(default_factory=list)
+
+    @property
+    def new_patterns(self) -> List[PatternDelta]:
+        return [row for row in self.rows if row.status == "new"]
+
+    @property
+    def vanished_patterns(self) -> List[PatternDelta]:
+        return [row for row in self.rows if row.status == "vanished"]
+
+    @property
+    def regressions(self) -> List[PatternDelta]:
+        return [row for row in self.rows if row.regressed]
+
+    @property
+    def ok(self) -> bool:
+        """True when the candidate passes the gate (exit status 0)."""
+        return not self.regressions
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "base_run": self.base_run,
+            "current_run": self.current_run,
+            "tolerance": self.tolerance,
+            "ok": self.ok,
+            "regressions": len(self.regressions),
+            "new_patterns": len(self.new_patterns),
+            "vanished_patterns": len(self.vanished_patterns),
+            "rows": [row.payload() for row in self.rows],
+        }
+
+    def describe(self) -> str:
+        """Human-readable report (the non-``--json`` CLI output)."""
+        lines = [
+            f"diff: {self.base_run} (baseline) -> {self.current_run} "
+            f"(candidate), tolerance +{self.tolerance * 100:.0f}%"
+        ]
+        if not self.rows:
+            lines.append("no patterns on either side")
+        for row in self.rows:
+            if row.status == "new":
+                lines.append(
+                    f"  NEW       {row.pattern[:12]}  {row.label}  "
+                    f"({row.current_count} paths)"
+                )
+                continue
+            if row.status == "vanished":
+                lines.append(
+                    f"  VANISHED  {row.pattern[:12]}  {row.label}  "
+                    f"(had {row.base_count} paths)"
+                )
+                continue
+            marker = "REGRESSED" if row.regressed else "ok       "
+            lines.append(
+                f"  {marker} {row.pattern[:12]}  {row.label}  "
+                f"p50 {_ms(row.base_p50_s)} -> {_ms(row.current_p50_s)} "
+                f"({_pct(row.p50_change)}), "
+                f"p95 {_ms(row.base_p95_s)} -> {_ms(row.current_p95_s)} "
+                f"({_pct(row.p95_change)}), "
+                f"share {row.share_delta * 100:+.1f} pp"
+            )
+        verdict = "PASS" if self.ok else f"FAIL ({len(self.regressions)} regressed)"
+        lines.append(f"verdict: {verdict}")
+        return "\n".join(lines)
+
+
+def _ms(value: Optional[float]) -> str:
+    return "n/a" if value is None else f"{value * 1000:.2f}ms"
+
+
+def _pct(change: Optional[float]) -> str:
+    return "n/a" if change is None else f"{change * 100:+.1f}%"
+
+
+def _relative_change(base: Optional[float], current: Optional[float]) -> Optional[float]:
+    if base is None or current is None or base <= 0:
+        return None
+    return (current - base) / base
+
+
+def diff_summaries(
+    base: Dict[str, object],
+    current: Dict[str, object],
+    tolerance: float = 0.25,
+) -> RunDiff:
+    """Diff two run summaries; see the module docstring for semantics."""
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance:g}")
+    base_patterns = {entry["pattern"]: entry for entry in base.get("patterns", [])}
+    current_patterns = {
+        entry["pattern"]: entry for entry in current.get("patterns", [])
+    }
+    diff = RunDiff(
+        base_run=str(base.get("run_id")),
+        current_run=str(current.get("run_id")),
+        tolerance=tolerance,
+    )
+    for digest in sorted(set(base_patterns) | set(current_patterns)):
+        before = base_patterns.get(digest)
+        after = current_patterns.get(digest)
+        entry = before or after
+        row = PatternDelta(
+            pattern=digest,
+            label=str(entry.get("label", "")),
+            status="common" if before and after else ("new" if after else "vanished"),
+            base_count=int(before["count"]) if before else 0,
+            current_count=int(after["count"]) if after else 0,
+            share_delta=(after.get("share", 0.0) if after else 0.0)
+            - (before.get("share", 0.0) if before else 0.0),
+        )
+        if row.status == "common":
+            row.base_p50_s = before.get("p50_s")
+            row.current_p50_s = after.get("p50_s")
+            row.base_p95_s = before.get("p95_s")
+            row.current_p95_s = after.get("p95_s")
+            row.p50_change = _relative_change(row.base_p50_s, row.current_p50_s)
+            row.p95_change = _relative_change(row.base_p95_s, row.current_p95_s)
+            row.regressed = any(
+                change is not None and change > tolerance
+                for change in (row.p50_change, row.p95_change)
+            )
+        else:
+            # A pattern appearing or vanishing is report drift: the
+            # ranked report CI pinned no longer has the same rows.
+            row.regressed = True
+        diff.rows.append(row)
+    diff.rows.sort(
+        key=lambda row: (not row.regressed, -abs(row.share_delta), row.pattern)
+    )
+    return diff

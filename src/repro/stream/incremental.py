@@ -266,6 +266,16 @@ class StreamingCorrelator:
     uninterrupted run.  The streaming knobs must match the ones the
     checkpoint was taken under; mismatches raise :class:`ValueError`
     rather than silently producing different output.
+
+    Composing with a persistent :class:`~repro.store.TraceStore` (the
+    ``on_cag`` hook of :class:`~repro.pipeline.StoreSink`): CAGs are
+    offered to the store as they finish, i.e. at chunk boundaries, so a
+    long-running ingest commits request rows incrementally.  After a
+    crash-and-resume, CAGs that finished *between* the last checkpoint
+    and the crash are re-emitted by the resumed run; store ingest is
+    keyed by the request's data-derived root identity and is therefore
+    idempotent, so the combined store is identical to one written by an
+    uninterrupted run (see :meth:`repro.store.TraceStore.run_digest`).
     """
 
     def __init__(

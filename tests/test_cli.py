@@ -386,3 +386,229 @@ class TestCli:
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+@pytest.fixture(scope="module")
+def query_store(tmp_path_factory):
+    """A store with two identical finalized runs, written through the CLI."""
+    path = tmp_path_factory.mktemp("querystore") / "store.sqlite"
+    base = ["simulate", "--scenario", "cache_aside", "--clients", "10",
+            "--runtime", "2", "--seed", "3", "--store", str(path)]
+    assert main(base + ["--run-id", "day1"]) == 0
+    assert main(base + ["--run-id", "day2"]) == 0
+    return str(path)
+
+
+class TestQueryCli:
+    def test_simulate_store_reports_the_run(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "s.sqlite"
+        code = main(
+            ["simulate", "--scenario", "cache_aside", "--runtime", "2",
+             "--seed", "3", "--store", str(path), "--run-id", "r1", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["store"] == str(path)
+        assert payload["store_run_id"] == "r1"
+        assert path.exists()
+
+    def test_stream_store_ingests_live(self, tmp_path, capsys):
+        path = tmp_path / "s.sqlite"
+        code = main(
+            ["stream", "--scenario", "cache_aside", "--clients", "10",
+             "--runtime", "2", "--seed", "3", "--store", str(path),
+             "--run-id", "live"]
+        )
+        assert code == 0
+        assert "stored as run" in capsys.readouterr().out
+        assert main(["query", "runs", "--store", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "live" in output and "finalized" in output
+        assert "streaming" in output
+
+    def test_query_runs_lists_both_runs(self, query_store, capsys):
+        assert main(["query", "runs", "--store", query_store]) == 0
+        output = capsys.readouterr().out
+        assert "day1" in output and "day2" in output
+        assert output.count("finalized") == 2
+
+    def test_query_latency_json_has_percentiles(self, query_store, capsys):
+        import json
+
+        code = main(
+            ["query", "latency", "--store", query_store, "--run", "day1",
+             "--json"]
+        )
+        assert code == 0
+        (row,) = json.loads(capsys.readouterr().out)
+        assert row["count"] > 0
+        assert row["p50_s"] <= row["p95_s"] <= row["p99_s"] <= row["max_s"]
+
+    def test_query_latency_bucketed(self, query_store, capsys):
+        code = main(
+            ["query", "latency", "--store", query_store, "--run", "day1",
+             "--bucket", "1.0"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "t=" in output and "p50=" in output
+
+    def test_query_patterns_and_drift(self, query_store, capsys):
+        assert main(
+            ["query", "patterns", "--store", query_store, "--run", "day1"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "paths" in output and "%" in output
+        assert main(
+            ["query", "patterns", "--store", query_store, "--run", "day1",
+             "--against", "day2"]
+        ) == 0
+        drift = capsys.readouterr().out
+        # Identical runs: every pattern is common with zero share movement.
+        assert "common" in drift
+        assert "new" not in drift.replace("\n", " ").split()
+        assert "+0.0 pp" in drift
+
+    def test_query_diff_identical_runs_passes(self, query_store, capsys):
+        code = main(["query", "diff", "day1", "day2", "--store", query_store])
+        assert code == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_query_diff_flags_injected_regression(
+        self, query_store, tmp_path, capsys
+    ):
+        import json
+
+        out = tmp_path / "day1.json"
+        assert main(
+            ["query", "export", "--store", query_store, "--run", "day1",
+             "--output", str(out)]
+        ) == 0
+        capsys.readouterr()
+        golden = json.loads(out.read_text(encoding="utf-8"))
+        for row in golden["patterns"]:
+            for key in ("mean_s", "max_s", "p50_s", "p90_s", "p95_s", "p99_s"):
+                row[key] = row[key] / 2  # baseline twice as fast => regression
+        perturbed = tmp_path / "perturbed.json"
+        perturbed.write_text(json.dumps(golden), encoding="utf-8")
+
+        code = main(
+            ["query", "diff", str(perturbed), "day1", "--store", query_store]
+        )
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "verdict: FAIL" in output
+        assert "REGRESSED" in output
+
+    def test_query_diff_exported_file_against_its_own_run(
+        self, query_store, tmp_path, capsys
+    ):
+        out = tmp_path / "day1.json"
+        assert main(
+            ["query", "export", "--store", query_store, "--run", "day1",
+             "--output", str(out)]
+        ) == 0
+        code = main(["query", "diff", str(out), "day1", "--store", query_store])
+        assert code == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_query_diff_json_payload(self, query_store, capsys):
+        import json
+
+        code = main(
+            ["query", "diff", "day1", "day2", "--store", query_store, "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["regressions"] == 0
+        assert all(row["status"] == "common" for row in payload["rows"])
+
+    def test_query_without_store_exits_2_with_one_line(self, capsys):
+        code = main(["query", "latency", "--run", "day1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "--store FILE is required" in err
+
+    def test_query_missing_store_file_exits_2_with_one_line(self, capsys):
+        code = main(["query", "runs", "--store", "/tmp/definitely-absent.sqlite"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "store file not found" in err
+
+    def test_query_unknown_run_id_exits_2_with_one_line(self, query_store, capsys):
+        code = main(
+            ["query", "latency", "--store", query_store, "--run", "nope"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown run id 'nope'" in err
+        assert "day1" in err  # the known ids are listed
+
+    def test_query_unknown_pattern_exits_2_with_one_line(self, query_store, capsys):
+        code = main(
+            ["query", "latency", "--store", query_store, "--run", "day1",
+             "--pattern", "bogus-pattern"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "no pattern matches" in err
+
+    def test_query_diff_needs_two_runs(self, query_store, capsys):
+        for runs in ([], ["day1"], ["day1", "day2", "day1"]):
+            code = main(["query", "diff", *runs, "--store", query_store])
+            assert code == 2
+            err = capsys.readouterr().err
+            assert err.count("\n") == 1
+            assert "diff needs exactly two runs" in err
+
+    def test_query_diff_run_ids_without_store_exit_2(self, capsys):
+        code = main(["query", "diff", "day1", "day2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "--store FILE is required" in err
+
+    def test_query_diff_non_summary_json_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "other"}', encoding="utf-8")
+        code = main(["query", "diff", str(bad), str(bad)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "not an exported run summary" in err
+
+    def test_query_bad_bucket_and_tolerance_exit_2(self, query_store, capsys):
+        for argv, message in [
+            (["query", "latency", "--store", query_store, "--run", "day1",
+              "--bucket", "0"], "--bucket must be positive"),
+            (["query", "diff", "day1", "day2", "--store", query_store,
+              "--tolerance", "-0.5"], "--tolerance must be positive"),
+        ]:
+            assert main(argv) == 2
+            err = capsys.readouterr().err
+            assert err.count("\n") == 1
+            assert message in err
+
+    def test_run_id_without_store_exits_2_with_one_line(self, capsys):
+        code = main(["simulate", "--runtime", "2", "--run-id", "r1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "--run-id requires --store" in err
+
+    def test_reusing_a_finalized_run_id_exits_2(self, query_store, capsys):
+        code = main(
+            ["simulate", "--scenario", "cache_aside", "--runtime", "2",
+             "--seed", "3", "--store", query_store, "--run-id", "day1"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "already exists (finalized)" in err
